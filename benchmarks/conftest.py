@@ -1,0 +1,18 @@
+"""Benchmark-suite configuration.
+
+The benchmarks regenerate the paper's figures inside the discrete-event
+simulation: pytest-benchmark measures the *wall time of the harness*
+(useful for tracking simulator performance), while the scientifically
+meaningful numbers — simulated seconds, speedups, advantages — are
+printed as paper-vs-measured tables and attached to each benchmark's
+``extra_info``.
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "figure(name): which paper figure a benchmark regenerates")

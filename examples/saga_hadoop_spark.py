@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""SAGA-Hadoop: deploy YARN and Spark clusters on HPC (paper §III-A).
+
+The light-weight Mode I path without the full Pilot machinery, shown
+for both framework plugins:
+
+1. YARN: spawn HDFS+YARN on a SLURM allocation, run a MapReduce
+   word-count over HDFS, stop the cluster;
+2. Spark: spawn a standalone Spark cluster, run an RDD pipeline
+   (word-count + a K-Means round), stop the cluster.
+
+Run:  python examples/saga_hadoop_spark.py
+"""
+
+import numpy as np
+
+from repro.analytics import generate_points, kmeans_reference
+from repro.analytics.kmeans import run_kmeans_spark
+from repro.cluster import stampede
+from repro.hadoop_deploy import SagaHadoop
+from repro.mapreduce import MapReduceJob, MRJobSpec
+from repro.saga import Registry, Site
+from repro.sim import Environment
+from repro.spark import SparkConf
+
+LINES = ["the quick brown fox jumps over the lazy dog",
+         "the dog barks", "the fox runs", "quick quick fox"]
+
+
+def yarn_demo(env, registry):
+    print("== SAGA-Hadoop: YARN plugin ==")
+    tool = SagaHadoop(env, registry, "slurm://stampede",
+                      framework="yarn", nodes=2, walltime=120)
+
+    def driver():
+        yield from tool.start()
+        metrics = tool.yarn.resource_manager.cluster_metrics()
+        print(f"[{env.now:7.1f}s] cluster up: "
+              f"{metrics['activeNodes']} NMs, {metrics['totalMB']} MB, "
+              f"{metrics['totalVirtualCores']} vcores")
+
+        # load the corpus into HDFS (one word per record)
+        words = [w for line in LINES for w in line.split()]
+        client = tool.hdfs.client(tool.hdfs.master_node.name)
+        yield env.process(client.put("/corpus", 64.0 * len(words),
+                                     payload_slices=[words]))
+
+        job = MapReduceJob(env, MRJobSpec(
+            name="wordcount", input_path="/corpus", output_path="/out",
+            mapper=lambda word: [(word, 1)],
+            reducer=lambda word, counts: [(word, sum(counts))],
+            num_reducers=1), tool.hdfs)
+        output = yield from job.run_on_yarn(tool.yarn)
+        counts = dict(output[0])
+        top = sorted(counts.items(), key=lambda kv: -kv[1])[:3]
+        print(f"[{env.now:7.1f}s] wordcount done "
+              f"({job.counters.maps_launched} maps, "
+              f"{job.counters.reduces_launched} reduce): top={top}")
+        tool.stop()
+        yield tool.stopped
+        print(f"[{env.now:7.1f}s] cluster stopped")
+
+    env.run(env.process(driver()))
+
+
+def spark_demo(env, registry):
+    print("\n== SAGA-Hadoop: Spark plugin ==")
+    tool = SagaHadoop(env, registry, "slurm://stampede",
+                      framework="spark", nodes=2, walltime=120)
+
+    def driver():
+        yield from tool.start()
+        print(f"[{env.now:7.1f}s] Spark master up, "
+              f"{tool.spark.master.total_cores} worker cores")
+        ctx = yield from tool.spark.context(SparkConf(
+            num_executors=2, executor_cores=4))
+
+        counts = dict((yield from (
+            ctx.parallelize(LINES, 2)
+            .flat_map(str.split)
+            .map(lambda w: (w, 1))
+            .reduce_by_key(lambda a, b: a + b)
+            .collect())))
+        print(f"[{env.now:7.1f}s] RDD wordcount: 'the'={counts['the']} "
+              f"'fox'={counts['fox']} 'quick'={counts['quick']}")
+
+        points = generate_points(2000, 8, seed=3)
+        centroids = yield from run_kmeans_spark(ctx, points, 8,
+                                                iterations=2,
+                                                num_partitions=4)
+        ok = np.allclose(centroids,
+                         kmeans_reference(points, 8, iterations=2))
+        print(f"[{env.now:7.1f}s] Spark K-Means: centroids "
+              f"{'match reference' if ok else 'WRONG'}")
+        ctx.stop()
+        tool.stop()
+        yield tool.stopped
+        print(f"[{env.now:7.1f}s] cluster stopped")
+
+    env.run(env.process(driver()))
+
+
+def main():
+    env = Environment()
+    registry = Registry()
+    registry.register(Site(env, stampede(num_nodes=3)))
+    yarn_demo(env, registry)
+    spark_demo(env, registry)
+
+
+if __name__ == "__main__":
+    main()

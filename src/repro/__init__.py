@@ -1,0 +1,16 @@
+"""repro: a reproduction of "Hadoop on HPC: Integrating Hadoop and
+Pilot-based Dynamic Resource Management" (Luckow et al., 2016).
+
+The package implements the paper's system -- RADICAL-Pilot with YARN
+and Spark extensions (Modes I and II) plus SAGA-Hadoop -- together with
+every substrate it runs on (machines, batch schedulers, SAGA, HDFS,
+YARN, MapReduce, Spark, a MongoDB-like store), all over a
+deterministic discrete-event simulation.  Start with:
+
+* :mod:`repro.core` -- the Pilot-Abstraction (the paper's contribution);
+* :mod:`repro.hadoop_deploy` -- SAGA-Hadoop;
+* :mod:`repro.experiments` -- the Figure 5/6 harnesses;
+* ``README.md`` / ``DESIGN.md`` / ``EXPERIMENTS.md`` at the repo root.
+"""
+
+__version__ = "1.0.0"

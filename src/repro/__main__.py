@@ -1,0 +1,109 @@
+"""Command-line entry point: regenerate the paper's experiments.
+
+Usage::
+
+    python -m repro figure5              # pilot + CU startup tables
+    python -m repro figure6 [--quick]    # the K-Means grid
+    python -m repro ablations            # A1-A3
+    python -m repro sensitivity          # the Lustre-bandwidth sweep
+    python -m repro all [--quick]        # everything above
+
+``--quick`` restricts Figure 6 to the smallest and largest scenarios
+at 8 and 32 tasks (8 cells instead of 36).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _figure5() -> None:
+    from repro.experiments import (
+        run_figure5_pilot_startup,
+        run_figure5_unit_startup,
+    )
+    from repro.experiments.tables import figure5_report
+    print(figure5_report(run_figure5_pilot_startup(),
+                         run_figure5_unit_startup()))
+
+
+def _figure6(quick: bool) -> None:
+    from repro.experiments import run_figure6
+    from repro.experiments.tables import figure6_report
+    kwargs = {}
+    if quick:
+        kwargs = {"scenarios": [(10_000, 5_000), (1_000_000, 50)],
+                  "task_counts": [8, 32]}
+    print(figure6_report(run_figure6(**kwargs)))
+
+
+def _ablations() -> None:
+    from repro.experiments.ablations import (
+        run_am_reuse,
+        run_integration_level,
+        run_spark_deploy_mode,
+    )
+    from repro.experiments.tables import format_table
+    a1 = run_integration_level()
+    print("A1 — YARN integration level (CU startup)")
+    print(format_table(["wiring", "CU startup (s)", "WAN round-trips"],
+                       [(r.wiring, r.unit_startup, r.wan_roundtrips)
+                        for r in a1]))
+    a2 = run_spark_deploy_mode()
+    print("\nA2 — Spark deployment mode (cluster-ready time)")
+    print(format_table(["mode", "cluster ready (s)", "frameworks"],
+                       [(r.mode, r.cluster_ready, r.frameworks_started)
+                        for r in a2]))
+    a3 = run_am_reuse()
+    print("\nA3 — Application Master re-use (warm CU startup)")
+    print(format_table(["mode", "warm CU startup (s)"],
+                       [(r.mode, r.warm_unit_startup) for r in a3]))
+
+
+def _sensitivity() -> None:
+    from repro.experiments.sensitivity import (
+        crossover_bandwidth,
+        sweep_lustre_bandwidth,
+    )
+    from repro.experiments.tables import format_table
+    rows = sweep_lustre_bandwidth()
+    print("S1 — YARN advantage vs job-visible Lustre bandwidth")
+    print(format_table(
+        ["lustre share (MB/s)", "RP (s)", "RP-YARN (s)", "advantage (%)"],
+        [(f"{r.lustre_bw / 1e6:.0f}", r.rp_runtime, r.yarn_runtime,
+          r.yarn_advantage * 100) for r in rows]))
+    crossover = crossover_bandwidth(rows)
+    if crossover is not None:
+        print(f"crossover at ~{crossover / 1e6:.0f} MB/s")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the paper's experiments on the "
+                    "simulated testbed.")
+    parser.add_argument("experiment",
+                        choices=["figure5", "figure6", "ablations",
+                                 "sensitivity", "all"],
+                        help="which experiment to run")
+    parser.add_argument("--quick", action="store_true",
+                        help="figure6: run a reduced 8-cell grid")
+    args = parser.parse_args(argv)
+
+    if args.experiment in ("figure5", "all"):
+        _figure5()
+        print()
+    if args.experiment in ("figure6", "all"):
+        _figure6(args.quick)
+        print()
+    if args.experiment in ("ablations", "all"):
+        _ablations()
+        print()
+    if args.experiment in ("sensitivity", "all"):
+        _sensitivity()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""Synthetic data generation for the evaluation workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def generate_points(num_points: int, num_clusters: int, dim: int = 3,
+                    seed: int = 42, spread: float = 0.05) -> np.ndarray:
+    """Gaussian blobs: ``num_points`` points around ``num_clusters``
+    centers on the unit cube.  Deterministic for a given seed.
+
+    The paper's scenarios are 3-dimensional (§IV-B); ``dim`` is
+    parameterized for the sweeps.
+    """
+    if num_points < 1 or num_clusters < 1 or dim < 1:
+        raise ValueError("num_points, num_clusters, dim must be >= 1")
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(0.0, 1.0, size=(num_clusters, dim))
+    assignment = rng.integers(0, num_clusters, size=num_points)
+    noise = rng.normal(0.0, spread, size=(num_points, dim))
+    return centers[assignment] + noise

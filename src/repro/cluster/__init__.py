@@ -1,0 +1,36 @@
+"""Hardware substrate: machines, nodes, storage and interconnect models.
+
+This package stands in for the two XSEDE machines of the paper's
+evaluation:
+
+* **Stampede** — Beowulf-style: 16 cores / 32 GB per node, small local
+  disks, all bulk I/O through a shared Lustre parallel filesystem.
+* **Wrangler** — data-intensive: 48 cores / 128 GB per node, fast local
+  SSDs, faster CPUs, plus a *dedicated Hadoop environment* reachable in
+  Mode II.
+
+The storage model is the load-bearing part: the parallel filesystem is a
+processor-sharing pipe (aggregate bandwidth fairly divided among
+concurrent streams, optionally capped per stream), while each node owns
+a private local-disk pipe.  That asymmetry — shared contended Lustre vs.
+per-node local disks that scale with the allocation — is exactly the
+mechanism the paper credits for RADICAL-Pilot-YARN's ~13 % win in
+Figure 6.
+"""
+
+from repro.cluster.machine import Machine, MachineSpec, stampede, wrangler
+from repro.cluster.node import Node
+from repro.cluster.network import Interconnect
+from repro.cluster.storage import SharedBandwidthPipe, StorageSpec, StorageVolume
+
+__all__ = [
+    "Interconnect",
+    "Machine",
+    "MachineSpec",
+    "Node",
+    "SharedBandwidthPipe",
+    "StorageSpec",
+    "StorageVolume",
+    "stampede",
+    "wrangler",
+]

@@ -1,0 +1,146 @@
+"""Machine templates: cluster-level hardware descriptions.
+
+Two factory functions reproduce the paper's testbeds:
+
+* :func:`stampede` — TACC Stampede: 16 cores / 32 GB per node, slow
+  local spindles, Lustre `$SCRATCH`, reference-speed CPUs.
+* :func:`wrangler` — TACC Wrangler: 48 cores / 128 GB per node, fast
+  local flash, a larger Lustre allocation, ~1.6x faster cores, and a
+  *dedicated Hadoop environment* (reachable via Mode II, as provided by
+  Wrangler's data portal reservation mechanism).
+
+All constants are centralized in :class:`MachineSpec` so the experiment
+harness can sweep them (ablations, sensitivity runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+from repro.cluster.network import Interconnect
+from repro.cluster.node import Node
+from repro.cluster.storage import GB, MB, StorageSpec, StorageVolume
+from repro.sim.engine import Environment, SimulationError
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Static description of a cluster."""
+
+    name: str
+    num_nodes: int
+    cores_per_node: int
+    memory_per_node: float          # bytes
+    cpu_speed: float                # relative to the reference core
+    local_disk: StorageSpec
+    shared_fs: StorageSpec
+    backbone_bw: float              # bytes/s
+    link_bw: float                  # bytes/s
+    net_latency: float              # seconds
+    download_bw: float              # bytes/s from the outside world
+    has_dedicated_hadoop: bool = False
+
+    def with_nodes(self, num_nodes: int) -> "MachineSpec":
+        """A copy of this spec with a different node count."""
+        return replace(self, num_nodes=num_nodes)
+
+
+class Machine:
+    """Instantiated cluster hardware bound to a simulation environment."""
+
+    def __init__(self, env: Environment, spec: MachineSpec):
+        if spec.num_nodes <= 0:
+            raise SimulationError("machine needs >=1 node")
+        self.env = env
+        self.spec = spec
+        self.nodes: List[Node] = [
+            Node(env, name=f"{spec.name}-n{i:04d}",
+                 cores=spec.cores_per_node,
+                 memory_bytes=spec.memory_per_node,
+                 local_disk=spec.local_disk,
+                 cpu_speed=spec.cpu_speed)
+            for i in range(spec.num_nodes)
+        ]
+        self.shared_fs = StorageVolume(env, spec.shared_fs)
+        self.network = Interconnect(
+            env, backbone_bw=spec.backbone_bw, link_bw=spec.link_bw,
+            latency=spec.net_latency)
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def total_cores(self) -> int:
+        return self.spec.num_nodes * self.spec.cores_per_node
+
+    def node_by_name(self, name: str) -> Node:
+        """Look up a node; raises on unknown names."""
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise KeyError(f"no node {name!r} on {self.name}")
+
+    def download_seconds(self, nbytes: float) -> float:
+        """Time to fetch ``nbytes`` from the outside world (Hadoop tarball)."""
+        return nbytes / self.spec.download_bw
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<Machine {self.name}: {self.spec.num_nodes} nodes x "
+                f"{self.spec.cores_per_node} cores>")
+
+
+def stampede(num_nodes: int = 4) -> MachineSpec:
+    """TACC Stampede template (paper §IV): 16 cores / 32 GB per node.
+
+    A compute-optimized Beowulf machine: bulk I/O goes through a shared
+    Lustre scratch with visible contention; node-local disks are small
+    and slow (they exist for the OS image); CPUs define the reference
+    speed 1.0.
+    """
+    return MachineSpec(
+        name="stampede",
+        num_nodes=num_nodes,
+        cores_per_node=16,
+        memory_per_node=32 * GB,
+        cpu_speed=1.0,
+        local_disk=StorageSpec(
+            name="stampede-localdisk", aggregate_bw=90 * MB,
+            per_stream_bw=90 * MB, latency=0.008, capacity=80 * GB),
+        shared_fs=StorageSpec(
+            name="stampede-lustre", aggregate_bw=650 * MB,
+            per_stream_bw=250 * MB, latency=0.030, capacity=400 * GB),
+        backbone_bw=40 * GB,
+        link_bw=5 * GB,
+        net_latency=5e-6,
+        download_bw=12 * MB,
+        has_dedicated_hadoop=False,
+    )
+
+
+def wrangler(num_nodes: int = 4) -> MachineSpec:
+    """TACC Wrangler template (paper §IV): 48 cores / 128 GB per node.
+
+    A data-intensive machine: large memory, fast node-local flash, a
+    beefier Lustre allocation, ~1.6x faster cores ("better hardware",
+    §IV-B), and a dedicated Hadoop environment for Mode II.
+    """
+    return MachineSpec(
+        name="wrangler",
+        num_nodes=num_nodes,
+        cores_per_node=48,
+        memory_per_node=128 * GB,
+        cpu_speed=1.6,
+        local_disk=StorageSpec(
+            name="wrangler-flash", aggregate_bw=500 * MB,
+            per_stream_bw=500 * MB, latency=0.0002, capacity=500 * GB),
+        shared_fs=StorageSpec(
+            name="wrangler-lustre", aggregate_bw=1800 * MB,
+            per_stream_bw=400 * MB, latency=0.020, capacity=2000 * GB),
+        backbone_bw=120 * GB,
+        link_bw=10 * GB,
+        net_latency=3e-6,
+        download_bw=25 * MB,
+        has_dedicated_hadoop=True,
+    )

@@ -1,0 +1,54 @@
+"""Interconnect model.
+
+A single fabric object models node-to-node transfers: per-link latency
+plus a shared backbone pipe.  Intra-node transfers are free except for
+a small memcpy cost.  This is sufficient for the paper's workloads —
+the shuffle traffic of K-Means and the WAN hop of the rejected
+Pilot-Manager-level YARN integration (ablation A1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.storage import SharedBandwidthPipe
+from repro.sim.engine import Environment, Event
+
+
+class Interconnect:
+    """Shared-backbone network fabric between nodes."""
+
+    #: Effective intra-node memory-copy bandwidth (bytes/s).
+    MEMCPY_BW = 8.0 * 1024 ** 3
+
+    def __init__(self, env: Environment, backbone_bw: float,
+                 link_bw: float, latency: float,
+                 wan_latency: float = 0.050):
+        self.env = env
+        self.latency = float(latency)
+        self.wan_latency = float(wan_latency)
+        self.backbone = SharedBandwidthPipe(
+            env, aggregate_bw=backbone_bw, per_stream_bw=link_bw,
+            latency=latency, name="interconnect")
+
+    def send(self, src: str, dst: str, nbytes: float) -> Event:
+        """Transfer ``nbytes`` from node ``src`` to node ``dst``."""
+        if src == dst:
+            # Loopback: no fabric involvement, just a memcpy.
+            done = Event(self.env)
+            delay = nbytes / self.MEMCPY_BW
+
+            def _fire(_):
+                done.succeed()
+            self.env.timeout(delay).callbacks.append(_fire)
+            return done
+        return self.backbone.transfer(nbytes)
+
+    def wan_roundtrip(self) -> Event:
+        """One client<->cluster WAN round-trip (used by ablation A1)."""
+        done = Event(self.env)
+
+        def _fire(_):
+            done.succeed()
+        self.env.timeout(2 * self.wan_latency).callbacks.append(_fire)
+        return done

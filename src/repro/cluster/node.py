@@ -1,0 +1,80 @@
+"""A compute node: cores, memory, local disk."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.storage import StorageSpec, StorageVolume
+from repro.sim.engine import Environment, SimulationError
+from repro.sim.resources import Level, Resource
+
+
+class Node:
+    """One compute node of a :class:`~repro.cluster.machine.Machine`.
+
+    Cores are a counted :class:`Resource`; memory is a :class:`Level`
+    drained by running tasks; the local disk is a private
+    :class:`StorageVolume` (the asset YARN's shuffle exploits in the
+    paper's Figure 6).
+    """
+
+    def __init__(self, env: Environment, name: str, cores: int,
+                 memory_bytes: float, local_disk: StorageSpec,
+                 cpu_speed: float = 1.0):
+        if cores <= 0:
+            raise SimulationError(f"node needs >=1 core, got {cores}")
+        if memory_bytes <= 0:
+            raise SimulationError("node memory must be positive")
+        if cpu_speed <= 0:
+            raise SimulationError("cpu speed factor must be positive")
+        self.env = env
+        self.name = name
+        self.num_cores = cores
+        self.memory_bytes = float(memory_bytes)
+        self.cpu_speed = float(cpu_speed)
+        self.cores = Resource(env, capacity=cores)
+        self.memory = Level(env, capacity=memory_bytes, init=memory_bytes)
+        self.local_disk = StorageVolume(env, local_disk)
+        # In-memory storage tier (Tachyon/Alluxio-style): RAM-speed
+        # reads/writes, capacity capped at a quarter of node memory.
+        # Iterative workloads cache working sets here (paper §V).
+        self.memory_fs = StorageVolume(env, StorageSpec(
+            name=f"{name}-memfs",
+            aggregate_bw=4 * 1024 ** 3,
+            per_stream_bw=2 * 1024 ** 3,
+            latency=1e-5,
+            capacity=memory_bytes * 0.25))
+        self.alive = True
+
+    @property
+    def cores_in_use(self) -> int:
+        """Cores currently held by tasks."""
+        return self.cores.count
+
+    @property
+    def cores_free(self) -> int:
+        return self.num_cores - self.cores.count
+
+    @property
+    def memory_free(self) -> float:
+        """Unreserved memory in bytes."""
+        return self.memory.level
+
+    def compute_seconds(self, abstract_work: float) -> float:
+        """Convert machine-neutral work units into node-local seconds.
+
+        ``abstract_work`` is expressed in reference-CPU seconds; faster
+        nodes (``cpu_speed`` > 1) finish sooner.
+        """
+        return abstract_work / self.cpu_speed
+
+    def fail(self) -> None:
+        """Mark the node dead (failure-injection hooks)."""
+        self.alive = False
+
+    def recover(self) -> None:
+        self.alive = True
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<Node {self.name}: {self.cores_free}/{self.num_cores} cores "
+                f"free, {self.memory_free / 2**30:.1f} GB free>")

@@ -1,0 +1,69 @@
+"""RADICAL-Pilot: the Pilot-Abstraction with Hadoop/Spark extensions.
+
+This is the paper's primary contribution, reproduced in full:
+
+* **Client side** — :class:`PilotManager` (launches pilots through SAGA
+  onto batch systems) and :class:`UnitManager` (schedules Compute-Units
+  onto pilots), coordinating with agents through a shared MongoDB-like
+  document store (:mod:`repro.core.db`).
+* **Agent side** (:mod:`repro.core.agent`) — the RADICAL-Pilot-Agent
+  with its pluggable components: Local Resource Managers (fork/SLURM/
+  Torque/SGE plus the paper's **YARN Mode I/II** and **Spark**
+  extensions), schedulers (continuous cores vs. cores+memory fed by the
+  YARN RM metrics API), Task Spawner, Launch Methods (fork, mpiexec,
+  aprun, ``yarn`` CLI, ``spark-submit``) and the RADICAL-Pilot YARN
+  Application Master (one YARN app per Compute-Unit, optional AM
+  re-use).
+
+Usage mirrors RADICAL-Pilot::
+
+    session = Session(env, registry)
+    pmgr = PilotManager(session)
+    pilot = pmgr.submit_pilot(ComputePilotDescription(
+        resource="slurm://stampede", nodes=2, runtime=30,
+        agent_config=AgentConfig(lrm="yarn")))     # Mode I
+    umgr = UnitManager(session)
+    umgr.add_pilots(pilot)
+    units = umgr.submit_units([ComputeUnitDescription(
+        executable="kmeans_map.py", cores=1, cpu_seconds=30.0)])
+    yield umgr.wait_units(units)
+"""
+
+from repro.core.data import (
+    ComputeDataService,
+    DataUnit,
+    DataUnitDescription,
+    PilotData,
+    PilotDataDescription,
+)
+from repro.core.db import Database
+from repro.core.description import (
+    AgentConfig,
+    ComputePilotDescription,
+    ComputeUnitDescription,
+)
+from repro.core.pilot import ComputePilot
+from repro.core.pilot_manager import PilotManager
+from repro.core.session import Session
+from repro.core.states import PilotState, UnitState
+from repro.core.unit import ComputeUnit
+from repro.core.unit_manager import UnitManager
+
+__all__ = [
+    "AgentConfig",
+    "ComputeDataService",
+    "ComputePilot",
+    "ComputePilotDescription",
+    "ComputeUnit",
+    "ComputeUnitDescription",
+    "Database",
+    "DataUnit",
+    "DataUnitDescription",
+    "PilotData",
+    "PilotDataDescription",
+    "PilotManager",
+    "PilotState",
+    "Session",
+    "UnitManager",
+    "UnitState",
+]

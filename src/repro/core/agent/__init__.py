@@ -1,0 +1,24 @@
+"""The RADICAL-Pilot-Agent and its pluggable components.
+
+Component map (paper Figure 3, right side):
+
+* :mod:`~repro.core.agent.lrm` — Local Resource Managers.  Parse the
+  batch system's environment to discover the allocation; for the
+  paper's extensions, bootstrap (Mode I) or connect to (Mode II)
+  Hadoop/Spark clusters.
+* :mod:`~repro.core.agent.scheduler` — agent schedulers: continuous
+  (cores) for HPC, cores+memory (fed by the YARN RM metrics API) for
+  YARN.
+* :mod:`~repro.core.agent.executor` — Task Spawner + Launch Methods
+  (fork/mpiexec/aprun vs. ``yarn`` CLI vs. ``spark-submit``), realized
+  as execution backends.
+* :mod:`~repro.core.agent.app_master` — the RADICAL-Pilot YARN
+  Application Master (paper Figure 4): one YARN application per
+  Compute-Unit, with optional AM re-use.
+* :mod:`~repro.core.agent.agent` — the agent main loop gluing it all
+  together.
+"""
+
+from repro.core.agent.agent import Agent
+
+__all__ = ["Agent"]

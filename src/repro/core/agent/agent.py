@@ -1,0 +1,207 @@
+"""The RADICAL-Pilot-Agent main loop.
+
+Runs as the batch job's payload on the allocation (paper Figure 3):
+
+1. bootstrap (virtualenv, module loads) and MongoDB connect;
+2. LRM initialization — allocation discovery plus, for the paper's
+   extensions, the Mode I Hadoop/Spark bootstrap or Mode II connect;
+3. pilot goes ACTIVE (with agent metrics recorded for the benchmarks);
+4. main loop: poll the shared DB for units assigned to this pilot,
+   drive each through the agent pipeline
+   (staging-input -> scheduling -> executing -> staging-output -> done)
+   with the backend's scheduler and Task Spawner;
+5. on cancel/walltime: interrupt in-flight units, tear the LRM down
+   (stopping any Hadoop/Spark daemons), finalize the pilot.
+
+All state changes are appended to the unit/pilot documents in the
+shared DB; the client-side managers replay them onto the handles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.agent.executor import ExecutionError, make_backend
+from repro.core.agent.lrm import make_lrm
+from repro.core.description import AgentConfig, ComputePilotDescription
+from repro.core.states import PilotState, UnitState
+from repro.rms.job import BatchJob
+from repro.saga.registry import Site
+from repro.sim.engine import Environment, Interrupt
+
+
+def advance_doc(collection, uid: str, state, now: float, **extra) -> None:
+    """Append a state to a document's history (single-writer protocol)."""
+    doc = collection.find_one({"_id": uid})
+    if doc is None:
+        raise KeyError(f"no document {uid}")
+    changes = dict(extra)
+    changes["state"] = state.value
+    changes["history"] = doc["history"] + [(now, state.value)]
+    collection.update_one({"_id": uid}, changes)
+
+
+class Agent:
+    """One agent instance, bound to a pilot and a site."""
+
+    def __init__(self, session, pilot_uid: str, site: Site,
+                 description: ComputePilotDescription):
+        self.session = session
+        self.env: Environment = session.env
+        self.pilot_uid = pilot_uid
+        self.site = site
+        self.description = description
+        self.config: AgentConfig = description.agent_config
+        self.lrm = None
+        self.backend = None
+        self._unit_procs: List = []
+        self._claimed: set = set()
+
+    # ------------------------------------------------------------- payload
+    def payload(self):
+        """The callable handed to the batch system as job payload."""
+
+        def _run(env, batch_job):
+            yield from self._run(batch_job)
+
+        return _run
+
+    def _pilots(self):
+        return self.session.db.collection("pilots")
+
+    def _units(self):
+        return self.session.db.collection("units")
+
+    def _advance_pilot(self, state: PilotState, **extra) -> None:
+        advance_doc(self._pilots(), self.pilot_uid, state, self.env.now,
+                    **extra)
+
+    def _advance_unit(self, uid: str, state: UnitState, **extra) -> None:
+        advance_doc(self._units(), uid, state, self.env.now, **extra)
+
+    # ----------------------------------------------------------- main loop
+    def _run(self, batch_job: BatchJob):
+        final_state = PilotState.DONE
+        try:
+            self._advance_pilot(PilotState.PENDING_ACTIVE)
+            # 1. bootstrap + DB connect
+            jitter = self.session.rng.stream(
+                f"agent-{self.pilot_uid}")
+            yield self.env.timeout(jitter.lognormal_around(
+                self.config.bootstrap_seconds, 0.03))
+            yield self.env.timeout(self.config.db_connect_seconds)
+            yield self.session.db.roundtrip()
+            # 2. LRM init (Mode I/II bootstrap happens here)
+            self.lrm = make_lrm(self.config.lrm, self.env, self.site,
+                                self.config)
+            yield from self.lrm.initialize(batch_job)
+            self.backend = make_backend(self.lrm, self.env, self.config)
+            # 3. go ACTIVE
+            self._advance_pilot(
+                PilotState.ACTIVE,
+                agent_info={
+                    "lrm": self.lrm.name,
+                    "lrm_setup_seconds": self.lrm.setup_seconds,
+                    "nodes": [n.name for n in self.lrm.nodes],
+                    "cores": self.lrm.total_cores,
+                })
+            # 4. unit intake loop (each pass doubles as the heartbeat
+            # the client-side monitor watches, paper Figure 3)
+            while True:
+                if self._cancel_requested():
+                    final_state = PilotState.CANCELED
+                    break
+                self._claim_new_units()
+                self._pilots().update_one({"_id": self.pilot_uid},
+                                          {"heartbeat": self.env.now})
+                yield self.env.timeout(self.config.db_poll_interval)
+        except Interrupt:
+            # walltime (RMS) or hard cancel
+            final_state = PilotState.DONE
+        except GeneratorExit:
+            # the simulation is being torn down (process GC'd at the
+            # end of a run): no simulated teardown can happen anymore
+            raise
+        except Exception as exc:
+            # bootstrap/LRM failure: the pilot fails, the batch job
+            # exits "cleanly" with the error recorded in the document.
+            final_state = PilotState.FAILED
+            self._pilots().update_one({"_id": self.pilot_uid},
+                                      {"agent_error": repr(exc)})
+        yield from self._teardown(final_state)
+
+    def _cancel_requested(self) -> bool:
+        doc = self._pilots().find_one({"_id": self.pilot_uid})
+        return bool(doc and doc.get("cancel_requested"))
+
+    def _claim_new_units(self) -> None:
+        for doc in self._units().find({
+                "pilot": self.pilot_uid,
+                "state": UnitState.UMGR_SCHEDULING.value}):
+            if doc["_id"] in self._claimed:
+                continue
+            self._claimed.add(doc["_id"])
+            self._unit_procs.append(self.env.process(
+                self._unit_pipeline(doc), name=f"unit-{doc['_id']}"))
+
+    # -------------------------------------------------------- unit pipeline
+    def _unit_pipeline(self, doc: Dict):
+        uid = doc["_id"]
+        desc = doc["description"]
+        allocation = None
+        try:
+            # stage-in
+            self._advance_unit(uid, UnitState.AGENT_STAGING_INPUT)
+            for path, nbytes in desc.input_staging:
+                if not self.site.scratch.exists(path):
+                    raise ExecutionError(f"stage-in missing: {path}")
+                yield self.site.scratch.read(path)
+            # agent scheduling
+            self._advance_unit(uid, UnitState.AGENT_SCHEDULING)
+            allocation = yield self.backend.schedule(desc)
+            # executing — the EXECUTING transition fires when the task
+            # process actually starts (inside the YARN container for
+            # the YARN backend), so unit.startup_time measures the full
+            # submission-to-execution latency of Figure 5's inset.
+            result = yield from self.backend.execute(
+                desc, allocation,
+                on_start=lambda: self._advance_unit(
+                    uid, UnitState.EXECUTING))
+            self.backend.release(allocation)
+            allocation = None
+            # stage-out
+            self._advance_unit(uid, UnitState.AGENT_STAGING_OUTPUT)
+            for path, nbytes in desc.output_staging:
+                if self.site.scratch.exists(path):
+                    self.site.scratch.delete(path)
+                yield self.site.scratch.create(path, nbytes)
+            self._advance_unit(uid, UnitState.DONE,
+                               result=result, exit_code=0)
+        except Interrupt:
+            self._advance_unit(uid, UnitState.CANCELED)
+        except ExecutionError as exc:
+            self._advance_unit(uid, UnitState.FAILED,
+                               stderr=str(exc), exit_code=1)
+        except Exception as exc:  # payload bugs must not kill the agent
+            self._advance_unit(uid, UnitState.FAILED,
+                               stderr=repr(exc), exit_code=1)
+        finally:
+            if allocation is not None:
+                self.backend.release(allocation)
+
+    # -------------------------------------------------------------- teardown
+    def _teardown(self, final_state: PilotState):
+        for proc in self._unit_procs:
+            if proc.is_alive:
+                proc.interrupt(cause="pilot teardown")
+        if self.backend is not None:
+            yield from self.backend.teardown()
+        if self.lrm is not None:
+            self.lrm.teardown()
+        doc = self._pilots().find_one({"_id": self.pilot_uid})
+        if doc and not self._is_final(doc["state"]):
+            self._advance_pilot(final_state)
+
+    @staticmethod
+    def _is_final(state_value: str) -> bool:
+        return PilotState(state_value).is_final

@@ -1,0 +1,275 @@
+"""Task Spawner + Launch Methods, realized as execution backends.
+
+A backend owns the full EXECUTING phase of a unit: launch-method
+overhead, the unit's bulk I/O (charged to *that backend's* storage —
+Lustre for plain pilots, node-local disk for YARN/Spark, which is the
+mechanism behind Figure 6), the modeled compute time, memory
+reservation, and the eager execution of the unit's real Python payload.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.storage import MB
+from repro.core.agent.app_master import ReusableAppMaster, run_unit_as_yarn_app
+from repro.core.agent.scheduler import (
+    ContinuousScheduler,
+    SlotAllocation,
+    YarnAgentScheduler,
+)
+from repro.core.description import AgentConfig, ComputeUnitDescription
+from repro.sim.engine import Environment, SimulationError
+
+
+#: Launch-method fixed overheads (seconds): process spawn + env setup.
+LAUNCH_OVERHEAD = {
+    "fork": 0.2,
+    "mpiexec": 0.6,
+    "aprun": 0.5,
+    "docker": 1.5,          # container create/start
+    "spark-submit": 3.0,
+}
+
+#: Container image size for the docker launch method (paper §V:
+#: "container-based virtualization (based on Docker) is increasingly
+#: used ... Support for these emerging infrastructures is being
+#: added").  Pulled once per node, then cached.
+DOCKER_IMAGE_BYTES = 400 * 1024 ** 2
+
+
+class ExecutionError(RuntimeError):
+    """A unit's execution failed on the backend."""
+
+
+def _run_payload(unit_desc: ComputeUnitDescription):
+    """Execute the unit's real Python function (eagerly)."""
+    if unit_desc.function is None:
+        return None
+    return unit_desc.function(*unit_desc.args, **unit_desc.kwargs)
+
+
+class ForkBackend:
+    """Plain HPC execution: cores from the continuous scheduler, bulk
+    I/O against the machine's **shared parallel filesystem** (Lustre).
+    """
+
+    name = "fork"
+
+    def __init__(self, env: Environment, lrm, config: AgentConfig):
+        self.env = env
+        self.lrm = lrm
+        self.config = config
+        self.scheduler = ContinuousScheduler(
+            env, lrm.nodes, policy=config.scheduler_policy)
+        self.shared_fs = lrm.site.machine.shared_fs
+        self._docker_image_cache: set = set()   # node names holding the image
+
+    def schedule(self, unit_desc: ComputeUnitDescription):
+        """Event yielding a SlotAllocation for the unit."""
+        return self.scheduler.allocate(unit_desc.cores)
+
+    def release(self, allocation: SlotAllocation) -> None:
+        self.scheduler.release(allocation)
+
+    def execute(self, unit_desc: ComputeUnitDescription,
+                allocation: SlotAllocation, on_start=None):
+        """Run a unit.  Generator returning the payload's result.
+
+        ``on_start`` fires when the task process actually begins (after
+        spawner/launch-method overhead) — the Compute-Unit startup
+        marker of Figure 5's inset.
+        """
+        method = unit_desc.launch_method or (
+            "mpiexec" if len(allocation.assignments) > 1 else "fork")
+        if method not in LAUNCH_OVERHEAD:
+            raise ExecutionError(f"unknown launch method {method!r}")
+        yield self.env.timeout(LAUNCH_OVERHEAD[method]
+                               + self.config.spawn_overhead_seconds)
+        if method == "docker":
+            # containers ship their environment inside the image: pull
+            # once per node (cached), skip the Lustre environment load
+            image_node = allocation.primary_node
+            if image_node.name not in self._docker_image_cache:
+                yield self.env.timeout(
+                    self.lrm.site.machine.download_seconds(
+                        DOCKER_IMAGE_BYTES))
+                yield image_node.local_disk.write(DOCKER_IMAGE_BYTES)
+                self._docker_image_cache.add(image_node.name)
+        elif self.config.task_environment_bytes > 0:
+            # interpreter + imports come off the shared filesystem —
+            # heavily contended when a task wave starts together
+            yield self.shared_fs.read(self.config.task_environment_bytes)
+        if on_start is not None:
+            on_start()
+
+        node = allocation.primary_node
+        memory = (unit_desc.memory_mb
+                  or self.config.default_unit_memory_mb) * MB
+        memory = min(memory, node.memory_bytes)
+        yield node.memory.get(memory)
+        try:
+            if unit_desc.input_bytes > 0:
+                if unit_desc.input_tier == "memory":
+                    yield node.memory_fs.read(unit_desc.input_bytes)
+                else:
+                    yield self.shared_fs.read(unit_desc.input_bytes)
+            if unit_desc.cpu_seconds > 0:
+                speedup = allocation.total_cores
+                yield self.env.timeout(node.compute_seconds(
+                    unit_desc.cpu_seconds / speedup))
+            result = _run_payload(unit_desc)
+            if unit_desc.output_bytes > 0:
+                yield self.shared_fs.write(unit_desc.output_bytes)
+                self.shared_fs.delete(unit_desc.output_bytes)
+        finally:
+            yield node.memory.put(memory)
+        return result
+
+    def teardown(self):
+        if False:  # pragma: no cover
+            yield None
+        return
+
+
+class YarnBackend:
+    """YARN execution: units become YARN applications; bulk I/O against
+    the container node's **local disk** (§IV-B: "for RADICAL-Pilot-YARN
+    the local file system is used").
+    """
+
+    name = "yarn"
+
+    def __init__(self, env: Environment, lrm, config: AgentConfig):
+        if lrm.yarn is None:
+            raise SimulationError("YARN LRM not initialized")
+        self.env = env
+        self.lrm = lrm
+        self.config = config
+        self.yarn = lrm.yarn
+        self.machine = lrm.site.machine
+        self.scheduler = YarnAgentScheduler(
+            env, self.yarn.resource_manager)
+        self._pool: Optional[ReusableAppMaster] = None
+        if config.reuse_application_master:
+            self._pool = ReusableAppMaster(env, self.yarn)
+            env.process(self._pool.start(), name="rp-am-pool")
+
+    def schedule(self, unit_desc: ComputeUnitDescription):
+        memory_mb = (unit_desc.memory_mb
+                     or self.config.default_unit_memory_mb)
+        return self.scheduler.allocate(unit_desc.cores, memory_mb)
+
+    def release(self, allocation: SlotAllocation) -> None:
+        self.scheduler.release(allocation)
+
+    def execute(self, unit_desc: ComputeUnitDescription,
+                allocation: SlotAllocation, on_start=None):
+        """Run a unit via the RP Application Master.  Generator.
+
+        ``on_start`` fires inside the YARN container once the wrapper
+        script hands control to the unit executable — so the startup
+        metric includes the client JVM, the AM allocation and the task
+        container launch (the two-phase overhead of Figure 5's inset).
+        """
+        memory_mb = (unit_desc.memory_mb
+                     or self.config.default_unit_memory_mb)
+        box = {}
+
+        def container_payload(env, container):
+            # The wrapper script: set up the RP environment, stage, run.
+            yield env.timeout(self.config.spawn_overhead_seconds)
+            node = self.machine.node_by_name(container.node_name)
+            if self.config.task_environment_bytes > 0:
+                # localized environment: read from the node's own disk
+                yield node.local_disk.read(
+                    self.config.task_environment_bytes)
+            if on_start is not None:
+                on_start()
+            if unit_desc.input_bytes > 0:
+                tier = (node.memory_fs if unit_desc.input_tier == "memory"
+                        else node.local_disk)
+                yield tier.read(unit_desc.input_bytes)
+            if unit_desc.cpu_seconds > 0:
+                yield env.timeout(node.compute_seconds(
+                    unit_desc.cpu_seconds / unit_desc.cores))
+            box["result"] = _run_payload(unit_desc)
+            if unit_desc.output_bytes > 0:
+                yield node.local_disk.write(unit_desc.output_bytes)
+                node.local_disk.delete(unit_desc.output_bytes)
+
+        if self._pool is not None:
+            outcome = yield from self._pool.run_unit(
+                unit_desc.cores, memory_mb, container_payload)
+        else:
+            outcome = yield from run_unit_as_yarn_app(
+                self.env, self.yarn, unit_desc.name or "cu",
+                unit_desc.cores, memory_mb, container_payload)
+        if not outcome.ok:
+            raise ExecutionError(
+                f"YARN execution failed: {outcome.diagnostics}")
+        return box.get("result")
+
+    def teardown(self):
+        if self._pool is not None:
+            yield from self._pool.shutdown()
+
+
+class SparkBackend:
+    """Spark execution: units run in executor task slots via
+    ``spark-submit``; bulk I/O against the executor node's local disk.
+    """
+
+    name = "spark"
+
+    def __init__(self, env: Environment, lrm, config: AgentConfig):
+        if lrm.spark is None:
+            raise SimulationError("Spark LRM not initialized")
+        self.env = env
+        self.lrm = lrm
+        self.config = config
+        self.spark = lrm.spark
+        self.scheduler = ContinuousScheduler(
+            env, lrm.nodes, policy=config.scheduler_policy)
+
+    def schedule(self, unit_desc: ComputeUnitDescription):
+        return self.scheduler.allocate(unit_desc.cores)
+
+    def release(self, allocation: SlotAllocation) -> None:
+        self.scheduler.release(allocation)
+
+    def execute(self, unit_desc: ComputeUnitDescription,
+                allocation: SlotAllocation, on_start=None):
+        yield self.env.timeout(LAUNCH_OVERHEAD["spark-submit"]
+                               + self.config.spawn_overhead_seconds)
+        node = allocation.primary_node
+        if self.config.task_environment_bytes > 0:
+            yield node.local_disk.read(self.config.task_environment_bytes)
+        if on_start is not None:
+            on_start()
+        if unit_desc.input_bytes > 0:
+            tier = (node.memory_fs if unit_desc.input_tier == "memory"
+                    else node.local_disk)
+            yield tier.read(unit_desc.input_bytes)
+        if unit_desc.cpu_seconds > 0:
+            yield self.env.timeout(node.compute_seconds(
+                unit_desc.cpu_seconds / allocation.total_cores))
+        result = _run_payload(unit_desc)
+        if unit_desc.output_bytes > 0:
+            yield node.local_disk.write(unit_desc.output_bytes)
+            node.local_disk.delete(unit_desc.output_bytes)
+        return result
+
+    def teardown(self):
+        if False:  # pragma: no cover
+            yield None
+        return
+
+
+def make_backend(lrm, env: Environment, config: AgentConfig):
+    """Pick the execution backend matching the LRM flavor."""
+    if lrm.name in ("yarn", "yarn-connect"):
+        return YarnBackend(env, lrm, config)
+    if lrm.name == "spark":
+        return SparkBackend(env, lrm, config)
+    return ForkBackend(env, lrm, config)

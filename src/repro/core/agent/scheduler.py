@@ -1,0 +1,195 @@
+"""Agent schedulers: assign Compute-Units to resource slots.
+
+Two of the paper's schedulers:
+
+* :class:`ContinuousScheduler` — the default HPC scheduler: allocates
+  CPU cores over the allocation's nodes (filling nodes in order,
+  spanning nodes for multi-core units), FIFO with no overtaking.
+* :class:`YarnAgentScheduler` — the paper's YARN extension (§III-C):
+  sizes slots by *memory in addition to cores*, with capacity read from
+  the YARN ResourceManager's REST-style metrics (``availableMB`` /
+  ``availableVirtualCores``); the actual container placement is then
+  performed by YARN itself when the unit's application runs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.cluster.node import Node
+from repro.sim.engine import Environment, Event, SimulationError
+
+
+class SlotAllocation:
+    """Cores granted to one unit: (node, cores) pairs.
+
+    YARN slots carry no node assignments (placement is YARN's job);
+    for those, ``cores`` records the reserved vcount explicitly so
+    ``release`` returns exactly what ``allocate`` took.
+    """
+
+    def __init__(self, assignments: List[Tuple[Node, int]],
+                 memory_mb: int = 0, cores: Optional[int] = None):
+        self.assignments = assignments
+        self.memory_mb = memory_mb
+        self._cores = cores
+
+    @property
+    def nodes(self) -> List[Node]:
+        return [node for node, _ in self.assignments]
+
+    @property
+    def total_cores(self) -> int:
+        if self._cores is not None:
+            return self._cores
+        return sum(c for _, c in self.assignments)
+
+    @property
+    def primary_node(self) -> Node:
+        return self.assignments[0][0]
+
+
+class ContinuousScheduler:
+    """Core-counting FIFO scheduler over the allocation's nodes.
+
+    ``policy`` controls placement of single-node-fitting requests:
+    ``"pack"`` fills nodes in order (RP's default — concentrates load);
+    ``"spread"`` picks the node with the most free cores (what the
+    paper's task/node ratios imply: 8 tasks on 1 node, 16 on 2, 32 on
+    3 spreads evenly).
+    """
+
+    def __init__(self, env: Environment, nodes: List[Node],
+                 policy: str = "pack"):
+        if not nodes:
+            raise SimulationError("scheduler needs nodes")
+        if policy not in ("pack", "spread"):
+            raise SimulationError(f"unknown placement policy {policy!r}")
+        self.env = env
+        self.nodes = list(nodes)
+        self.policy = policy
+        self._free: Dict[str, int] = {n.name: n.num_cores for n in nodes}
+        self._queue: Deque[Tuple[int, Event]] = deque()
+
+    @property
+    def total_cores(self) -> int:
+        return sum(n.num_cores for n in self.nodes)
+
+    @property
+    def free_cores(self) -> int:
+        return sum(self._free.values())
+
+    def allocate(self, cores: int) -> Event:
+        """Request ``cores``; event fires with a :class:`SlotAllocation`."""
+        if cores < 1:
+            raise SimulationError("must request >= 1 core")
+        if cores > self.total_cores:
+            raise SimulationError(
+                f"unit wants {cores} cores, allocation has "
+                f"{self.total_cores}")
+        event = Event(self.env)
+        self._queue.append((cores, event))
+        self._drain()
+        return event
+
+    def release(self, allocation: SlotAllocation) -> None:
+        for node, cores in allocation.assignments:
+            self._free[node.name] += cores
+        self._drain()
+
+    def _drain(self) -> None:
+        # FIFO, no overtaking: a blocked head blocks the queue (matches
+        # RP's continuous scheduler and keeps large units from starving).
+        while self._queue:
+            cores, event = self._queue[0]
+            if event.triggered:
+                self._queue.popleft()
+                continue
+            if cores > self.free_cores:
+                return
+            self._queue.popleft()
+            event.succeed(self._carve(cores))
+
+    def _carve(self, cores: int) -> SlotAllocation:
+        order = self.nodes
+        if self.policy == "spread":
+            order = sorted(self.nodes,
+                           key=lambda n: -self._free[n.name])
+        assignments: List[Tuple[Node, int]] = []
+        remaining = cores
+        for node in order:
+            free = self._free[node.name]
+            if free <= 0:
+                continue
+            take = min(free, remaining)
+            self._free[node.name] -= take
+            assignments.append((node, take))
+            remaining -= take
+            if remaining == 0:
+                break
+        assert remaining == 0, "free_cores accounting broken"
+        return SlotAllocation(assignments)
+
+
+class YarnAgentScheduler:
+    """Cores **and memory** scheduler, fed by YARN cluster metrics.
+
+    The agent throttles unit submission so the sum of in-flight slot
+    reservations never exceeds what the RM reports as available —
+    exactly how the paper's scheduler uses the REST API.  Node choice
+    is left to YARN's own scheduler at container-allocation time.
+    """
+
+    def __init__(self, env: Environment, resource_manager,
+                 am_memory_mb: int = 512):
+        self.env = env
+        self.rm = resource_manager
+        self.am_memory_mb = am_memory_mb
+        self._reserved_mb = 0
+        self._reserved_cores = 0
+        self._queue: Deque[Tuple[int, int, Event]] = deque()
+
+    def cluster_state(self) -> Dict[str, float]:
+        """The RM metrics snapshot the scheduler works from."""
+        return self.rm.cluster_metrics()
+
+    def allocate(self, cores: int, memory_mb: int) -> Event:
+        """Reserve a (cores, memory) slot; fires with a SlotAllocation."""
+        metrics = self.cluster_state()
+        need_mb = memory_mb + self.am_memory_mb
+        if need_mb > metrics["totalMB"] or cores > metrics["totalVirtualCores"]:
+            raise SimulationError(
+                f"unit slot ({need_mb} MB, {cores} vcores) exceeds the "
+                f"YARN cluster ({metrics['totalMB']} MB, "
+                f"{metrics['totalVirtualCores']} vcores)")
+        event = Event(self.env)
+        self._queue.append((cores, need_mb, event))
+        self._drain()
+        return event
+
+    def release(self, allocation: SlotAllocation) -> None:
+        self._reserved_mb -= allocation.memory_mb
+        self._reserved_cores -= allocation.total_cores
+        self._drain()
+
+    def _drain(self) -> None:
+        metrics = self.cluster_state()
+        while self._queue:
+            cores, need_mb, event = self._queue[0]
+            if event.triggered:
+                self._queue.popleft()
+                continue
+            # Throttle against the RM-reported capacity.  Our own
+            # in-flight reservations stand in for allocations that have
+            # not manifested in the metrics yet (submission lag).
+            if (self._reserved_mb + need_mb > metrics["totalMB"]
+                    or self._reserved_cores + cores
+                    > metrics["totalVirtualCores"]):
+                return
+            self._queue.popleft()
+            self._reserved_mb += need_mb
+            self._reserved_cores += cores
+            # Node placement is YARN's job; the slot is cluster-wide.
+            event.succeed(SlotAllocation([], memory_mb=need_mb,
+                                         cores=cores))

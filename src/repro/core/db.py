@@ -1,0 +1,95 @@
+"""A MongoDB stand-in: the client<->agent coordination channel.
+
+RADICAL-Pilot coordinates Pilot-/Unit-Managers and agents through a
+shared MongoDB instance (paper Figure 3, steps U.2/U.3).  This module
+provides the subset RP uses — collections of dict documents with
+``insert``/``find``/``update_one`` and an event-based ``watch`` so
+simulation processes can block on document changes — plus a modeled
+round-trip latency per operation batch.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from repro.sim.engine import Environment, Event
+
+
+class Collection:
+    """One named collection of documents."""
+
+    def __init__(self, env: Environment, name: str):
+        self.env = env
+        self.name = name
+        self._docs: Dict[str, Dict[str, Any]] = {}
+        self._id_seq = itertools.count(1)
+        self._watchers: List[Event] = []
+
+    def insert(self, doc: Dict[str, Any]) -> str:
+        """Insert a document, assigning ``_id`` if missing."""
+        doc = dict(doc)
+        doc.setdefault("_id", f"{self.name}.{next(self._id_seq)}")
+        self._docs[doc["_id"]] = doc
+        self._notify()
+        return doc["_id"]
+
+    def find(self, query: Optional[Dict[str, Any]] = None) -> List[Dict[str, Any]]:
+        """All documents matching the (equality-only) query."""
+        out = []
+        for doc in self._docs.values():
+            if all(doc.get(k) == v for k, v in (query or {}).items()):
+                out.append(doc)
+        return out
+
+    def find_one(self, query: Optional[Dict[str, Any]] = None) -> Optional[Dict[str, Any]]:
+        matches = self.find(query)
+        return matches[0] if matches else None
+
+    def update_one(self, query: Dict[str, Any],
+                   changes: Dict[str, Any]) -> bool:
+        """Apply ``changes`` ($set semantics) to the first match."""
+        doc = self.find_one(query)
+        if doc is None:
+            return False
+        doc.update(changes)
+        self._notify()
+        return True
+
+    def watch(self) -> Event:
+        """Event firing at the next mutation of this collection."""
+        event = Event(self.env)
+        self._watchers.append(event)
+        return event
+
+    def _notify(self) -> None:
+        watchers, self._watchers = self._watchers, []
+        for event in watchers:
+            if not event.triggered:
+                event.succeed()
+
+    def __len__(self) -> int:
+        return len(self._docs)
+
+
+class Database:
+    """The shared store: named collections + a modeled RTT."""
+
+    def __init__(self, env: Environment, rtt: float = 0.02):
+        self.env = env
+        self.rtt = rtt
+        self._collections: Dict[str, Collection] = {}
+
+    def collection(self, name: str) -> Collection:
+        if name not in self._collections:
+            self._collections[name] = Collection(self.env, name)
+        return self._collections[name]
+
+    def roundtrip(self) -> Event:
+        """One client<->DB network round-trip (yield it)."""
+        event = Event(self.env)
+
+        def _fire(_):
+            event.succeed()
+        self.env.timeout(self.rtt).callbacks.append(_fire)
+        return event

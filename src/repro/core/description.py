@@ -1,0 +1,130 @@
+"""Descriptions: what users ask for (pilots, units, agent behaviour)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+
+@dataclass
+class AgentConfig:
+    """How the RADICAL-Pilot-Agent behaves on the allocation.
+
+    ``lrm`` picks the Local Resource Manager:
+
+    * ``"fork"`` — plain HPC execution on the allocated nodes (the
+      baseline RADICAL-Pilot of the paper's experiments);
+    * ``"yarn"`` — **Mode I**: bootstrap HDFS + YARN on the allocation,
+      then execute units as YARN applications;
+    * ``"yarn-connect"`` — **Mode II**: connect to the machine's
+      dedicated YARN cluster (e.g. Wrangler's data portal environment);
+    * ``"spark"`` — bootstrap a standalone Spark cluster.
+    """
+
+    lrm: str = "fork"
+    #: Agent poll interval for new units in the shared DB (seconds).
+    db_poll_interval: float = 1.0
+    #: Base bootstrap cost: virtualenv, module loads, component start.
+    bootstrap_seconds: float = 40.0
+    #: MongoDB connection setup.
+    db_connect_seconds: float = 2.0
+    #: Re-use the YARN Application Master across units (paper §III-C
+    #: names this as the planned optimization; ablation A3 measures it).
+    reuse_application_master: bool = False
+    #: Hadoop distribution tarball size (downloaded in Mode I).
+    hadoop_dist_bytes: float = 250 * 1024 ** 2
+    #: Spark distribution tarball size.
+    spark_dist_bytes: float = 230 * 1024 ** 2
+    #: Seconds to render *-site.xml / spark-env.sh etc.
+    configure_seconds: float = 5.0
+    #: Mode II connect + cluster-info collection.
+    connect_seconds: float = 3.0
+    #: HDFS replication inside Mode I clusters (small allocations).
+    hdfs_replication: int = 2
+    #: Task spawner overhead per unit (env setup script, fork/exec).
+    spawn_overhead_seconds: float = 2.0
+    #: Bytes each task reads to start its environment (interpreter,
+    #: shared libraries, Python imports).  Plain pilots read this from
+    #: the shared filesystem — a famously contended operation at scale
+    #: on Lustre — while YARN/Spark tasks localize from the node disk.
+    task_environment_bytes: float = 0.0
+    #: Memory per YARN task container when the unit does not say.
+    default_unit_memory_mb: int = 2048
+    #: Core placement for the continuous scheduler: "pack" (RP default)
+    #: or "spread" (even across nodes — the paper's task/node ratios).
+    scheduler_policy: str = "pack"
+    #: YARN settings for the Mode I cluster (None = YARN defaults).
+    #: Typed loosely to keep descriptions import-light; must be a
+    #: :class:`repro.yarn.config.YarnConfig` when set.
+    yarn_config: Optional[Any] = None
+
+
+@dataclass
+class ComputePilotDescription:
+    """Resource request for one pilot (mirrors RP's attributes)."""
+
+    resource: str                 # SAGA URL, e.g. "slurm://stampede"
+    nodes: int = 1
+    runtime: float = 60.0         # minutes, as in RP
+    queue: str = "normal"
+    project: Optional[str] = None
+    agent_config: AgentConfig = field(default_factory=AgentConfig)
+
+    def validate(self) -> None:
+        if self.nodes < 1:
+            raise ValueError("pilot needs >= 1 node")
+        if self.runtime <= 0:
+            raise ValueError("runtime must be positive")
+        if self.agent_config.lrm not in (
+                "fork", "yarn", "yarn-connect", "spark"):
+            raise ValueError(
+                f"unknown LRM {self.agent_config.lrm!r}")
+
+
+@dataclass
+class ComputeUnitDescription:
+    """One self-contained piece of work (mirrors RP's CU description).
+
+    The simulation extensions:
+
+    * ``cpu_seconds`` — abstract reference-CPU seconds of compute; the
+      agent divides by (cores x node speed) for the modeled duration.
+    * ``input_bytes`` / ``output_bytes`` — bulk I/O the unit performs,
+      charged to whatever storage the executing backend uses (Lustre
+      for plain pilots, node-local disk for YARN — the crux of
+      Figure 6).
+    * ``function``/``args`` — an optional real Python callable executed
+      eagerly; its return value lands on ``unit.result``.
+    """
+
+    executable: str = "/bin/true"
+    arguments: Tuple[str, ...] = ()
+    cores: int = 1
+    memory_mb: Optional[int] = None
+    cpu_seconds: float = 0.0
+    input_bytes: float = 0.0
+    output_bytes: float = 0.0
+    function: Optional[Callable[..., Any]] = None
+    args: Tuple[Any, ...] = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    #: staging directives: (catalog_path, nbytes) pairs
+    input_staging: Tuple[Tuple[str, float], ...] = ()
+    output_staging: Tuple[Tuple[str, float], ...] = ()
+    #: launch-method hint: "fork" | "mpiexec" | "aprun" | "docker" |
+    #: None = agent picks
+    launch_method: Optional[str] = None
+    #: where the unit's bulk input lives: "default" (the backend's
+    #: storage — Lustre for plain pilots, local disk for YARN/Spark) or
+    #: "memory" (the node's Tachyon-style in-memory tier, for cached
+    #: working sets of iterative algorithms, paper §V).
+    input_tier: str = "default"
+    name: str = ""
+
+    def validate(self) -> None:
+        if self.cores < 1:
+            raise ValueError("unit needs >= 1 core")
+        if self.cpu_seconds < 0 or self.input_bytes < 0 \
+                or self.output_bytes < 0:
+            raise ValueError("unit costs must be non-negative")
+        if self.input_tier not in ("default", "memory"):
+            raise ValueError(f"unknown input tier {self.input_tier!r}")

@@ -1,0 +1,163 @@
+"""PilotManager: launches and tracks pilots through SAGA."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional
+
+from repro.core.agent.agent import Agent, advance_doc
+from repro.core.description import ComputePilotDescription
+from repro.core.pilot import ComputePilot
+from repro.core.session import Session
+from repro.core.states import PilotState
+from repro.saga.job import Description as SagaDescription
+from repro.saga.job import Service
+
+
+class PilotManager:
+    """Client-side pilot lifecycle (paper Figure 3, steps P.1-P.2).
+
+    ``submit_pilot`` translates a ComputePilotDescription into a SAGA
+    job whose payload is the RADICAL-Pilot-Agent, submits it to the
+    target site's batch system, and returns the pilot handle.  A watcher
+    process replays DB-side state changes (written by the agent) onto
+    the handle.
+    """
+
+    _seq = itertools.count(1)
+
+    def __init__(self, session: Session, heartbeat_timeout: float = 300.0,
+                 heartbeat_check_interval: float = 30.0):
+        self.session = session
+        self.env = session.env
+        self.uid = f"pmgr.{next(PilotManager._seq):04d}"
+        self.heartbeat_timeout = heartbeat_timeout
+        self.heartbeat_check_interval = heartbeat_check_interval
+        self.pilots: Dict[str, ComputePilot] = {}
+        self._services: Dict[str, Service] = {}
+        self._watcher = self.env.process(self._watch_loop(),
+                                         name=f"{self.uid}-watch")
+        self._hb_monitor = self.env.process(
+            self._heartbeat_monitor(), name=f"{self.uid}-hb")
+
+    # ---------------------------------------------------------- submission
+    def submit_pilot(self, description: ComputePilotDescription) -> ComputePilot:
+        """Submit one pilot; returns its handle immediately."""
+        description.validate()
+        uid = f"pilot.{next(PilotManager._seq):04d}"
+        pilot = ComputePilot(self.env, uid, description)
+        self.pilots[uid] = pilot
+
+        col = self.session.db.collection("pilots")
+        col.insert({
+            "_id": uid,
+            "state": PilotState.NEW.value,
+            "history": [(self.env.now, PilotState.NEW.value)],
+            "resource": description.resource,
+            "cancel_requested": False,
+        })
+
+        service = self._service(description.resource)
+        agent = Agent(self.session, uid, service.site, description)
+        advance_doc(col, uid, PilotState.PENDING_LAUNCH, self.env.now)
+
+        saga_job = service.create_job(SagaDescription(
+            executable="radical-pilot-agent",
+            arguments=(uid,),
+            number_of_nodes=description.nodes,
+            wall_time_limit=description.runtime,
+            queue=description.queue,
+            project=description.project,
+            payload=agent.payload()))
+        self.env.process(self._launch(uid, saga_job),
+                         name=f"launch-{uid}")
+        return pilot
+
+    def _service(self, resource: str) -> Service:
+        if resource not in self._services:
+            self._services[resource] = Service(
+                resource, self.session.registry)
+        return self._services[resource]
+
+    def _launch(self, uid: str, saga_job):
+        col = self.session.db.collection("pilots")
+        advance_doc(col, uid, PilotState.LAUNCHING, self.env.now)
+        saga_job.run()
+        try:
+            yield saga_job.wait_started()
+        except RuntimeError:
+            # canceled or failed before starting
+            doc = col.find_one({"_id": uid})
+            if doc and not PilotState(doc["state"]).is_final:
+                advance_doc(col, uid, PilotState.FAILED, self.env.now)
+            return
+        # From here the agent payload drives the DB document; the batch
+        # job's final state is checked as a safety net.
+        batch_job = saga_job.batch_job
+        yield batch_job.finished
+        doc = col.find_one({"_id": uid})
+        if doc and not PilotState(doc["state"]).is_final:
+            # agent died without finalizing (e.g. crashed payload)
+            advance_doc(col, uid, PilotState.FAILED, self.env.now,
+                        fail_reason=batch_job.fail_reason)
+
+    # ------------------------------------------------------------- control
+    def cancel_pilot(self, uid: str) -> None:
+        """Request pilot cancellation (served at the agent's next poll)."""
+        col = self.session.db.collection("pilots")
+        col.update_one({"_id": uid}, {"cancel_requested": True})
+
+    def wait_pilot(self, pilot: ComputePilot,
+                   state: Optional[PilotState] = None):
+        """Event for ``pilot`` reaching ``state`` (default: any final)."""
+        return pilot.wait(state)
+
+    def last_heartbeat(self, uid: str):
+        """Timestamp of the pilot agent's last heartbeat (None = never)."""
+        doc = self.session.db.collection("pilots").find_one({"_id": uid})
+        return None if doc is None else doc.get("heartbeat")
+
+    # ------------------------------------------------- heartbeat monitor
+    def _heartbeat_monitor(self):
+        """Fail ACTIVE pilots whose agent stopped heartbeating.
+
+        The agent writes a heartbeat into its pilot document on every
+        main-loop pass; a hung or partitioned agent (as opposed to one
+        that exited — the batch-job safety net covers that) is detected
+        here and its pilot declared FAILED.
+        """
+        col = self.session.db.collection("pilots")
+        while True:
+            yield self.env.timeout(self.heartbeat_check_interval)
+            for uid, pilot in self.pilots.items():
+                if pilot.state is not PilotState.ACTIVE:
+                    continue
+                doc = col.find_one({"_id": uid})
+                if doc is None:
+                    continue
+                last = doc.get("heartbeat",
+                               pilot.timestamp(PilotState.ACTIVE))
+                if last is None:
+                    continue
+                if self.env.now - last > self.heartbeat_timeout:
+                    advance_doc(col, uid, PilotState.FAILED, self.env.now,
+                                fail_reason="agent heartbeat timeout")
+
+    # ------------------------------------------------------------- watcher
+    def _watch_loop(self):
+        col = self.session.db.collection("pilots")
+        while True:
+            change = col.watch()
+            self._sync()
+            yield change
+
+    def _sync(self) -> None:
+        col = self.session.db.collection("pilots")
+        for uid, pilot in self.pilots.items():
+            doc = col.find_one({"_id": uid})
+            if doc is None:
+                continue
+            for _, state_value in doc["history"][len(pilot.history):]:
+                pilot.advance(PilotState(state_value))
+            if doc.get("agent_info") and not pilot.agent_info:
+                pilot.agent_info = doc["agent_info"]

@@ -1,0 +1,136 @@
+"""Session profiling utilities (the radical.analytics counterpart).
+
+RADICAL-Pilot sessions record state-transition timestamps for every
+pilot and unit; the paper's Figure 5 is exactly such an analysis.
+These helpers turn the handles' histories into the durations and
+series the evaluation plots:
+
+* per-unit phase durations (scheduling delay, staging, execution);
+* pilot startup decomposition;
+* concurrency over time (how many units were EXECUTING at t);
+* core utilization of a pilot by a set of units.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.pilot import ComputePilot
+from repro.core.states import PilotState, UnitState
+from repro.core.unit import ComputeUnit
+
+#: The unit phases reported by :func:`unit_phases`, as (label, from, to).
+UNIT_PHASES = [
+    ("queue", UnitState.UMGR_SCHEDULING, UnitState.AGENT_STAGING_INPUT),
+    ("stage_in", UnitState.AGENT_STAGING_INPUT, UnitState.AGENT_SCHEDULING),
+    ("schedule", UnitState.AGENT_SCHEDULING, UnitState.EXECUTING),
+    ("execute", UnitState.EXECUTING, UnitState.AGENT_STAGING_OUTPUT),
+    ("stage_out", UnitState.AGENT_STAGING_OUTPUT, UnitState.DONE),
+]
+
+
+def unit_phases(unit: ComputeUnit) -> Dict[str, Optional[float]]:
+    """Durations of each pipeline phase for one unit (None = not seen)."""
+    out: Dict[str, Optional[float]] = {}
+    for label, start, end in UNIT_PHASES:
+        t0, t1 = unit.timestamp(start), unit.timestamp(end)
+        out[label] = None if t0 is None or t1 is None else t1 - t0
+    return out
+
+
+def phase_means(units: Iterable[ComputeUnit]) -> Dict[str, float]:
+    """Mean duration per phase over units that completed the phase."""
+    sums: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    for unit in units:
+        for label, value in unit_phases(unit).items():
+            if value is not None:
+                sums[label] = sums.get(label, 0.0) + value
+                counts[label] = counts.get(label, 0) + 1
+    return {label: sums[label] / counts[label] for label in sums}
+
+
+def pilot_startup_breakdown(pilot: ComputePilot) -> Dict[str, float]:
+    """Submission-to-active decomposition of one pilot."""
+    stamps = {state: pilot.timestamp(state) for state in PilotState}
+    out: Dict[str, float] = {}
+
+    def span(label, a, b):
+        if stamps.get(a) is not None and stamps.get(b) is not None:
+            out[label] = stamps[b] - stamps[a]
+
+    span("submit_to_launch", PilotState.NEW, PilotState.LAUNCHING)
+    span("queue_wait", PilotState.LAUNCHING, PilotState.PENDING_ACTIVE)
+    span("agent_bootstrap", PilotState.PENDING_ACTIVE, PilotState.ACTIVE)
+    span("total", PilotState.NEW, PilotState.ACTIVE)
+    if pilot.agent_info:
+        out["lrm_setup"] = pilot.agent_info.get("lrm_setup_seconds", 0.0)
+    return out
+
+
+def concurrency_series(units: Iterable[ComputeUnit],
+                       state: UnitState = UnitState.EXECUTING
+                       ) -> List[Tuple[float, int]]:
+    """(time, active-count) steps for units residing in ``state``.
+
+    A unit is "in" the state from its entry timestamp until its next
+    recorded transition.
+    """
+    deltas: List[Tuple[float, int]] = []
+    for unit in units:
+        history = unit.history
+        for i, (t, s) in enumerate(history):
+            if s is state:
+                deltas.append((t, +1))
+                if i + 1 < len(history):
+                    deltas.append((history[i + 1][0], -1))
+    deltas.sort()
+    series: List[Tuple[float, int]] = []
+    active = 0
+    for t, d in deltas:
+        active += d
+        if series and series[-1][0] == t:
+            series[-1] = (t, active)
+        else:
+            series.append((t, active))
+    return series
+
+
+def peak_concurrency(units: Iterable[ComputeUnit],
+                     state: UnitState = UnitState.EXECUTING) -> int:
+    """Maximum number of units simultaneously in ``state``."""
+    series = concurrency_series(units, state)
+    return max((count for _, count in series), default=0)
+
+
+def core_utilization(units: Sequence[ComputeUnit],
+                     pilot: ComputePilot,
+                     start: Optional[float] = None,
+                     end: Optional[float] = None) -> float:
+    """Busy core-seconds / available core-seconds over [start, end].
+
+    Defaults: from the pilot going ACTIVE to the last unit leaving
+    EXECUTING.
+    """
+    cores = pilot.agent_info.get("cores", 0)
+    if not cores or not units:
+        return 0.0
+    if start is None:
+        start = pilot.timestamp(PilotState.ACTIVE) or 0.0
+    exec_spans = []
+    for unit in units:
+        t0 = unit.timestamp(UnitState.EXECUTING)
+        t1 = unit.timestamp(UnitState.AGENT_STAGING_OUTPUT)
+        if t0 is not None and t1 is not None:
+            exec_spans.append((t0, t1, unit.description.cores))
+    if not exec_spans:
+        return 0.0
+    if end is None:
+        end = max(t1 for _, t1, _ in exec_spans)
+    window = end - start
+    if window <= 0:
+        return 0.0
+    busy = sum((min(t1, end) - max(t0, start)) * c
+               for t0, t1, c in exec_spans
+               if min(t1, end) > max(t0, start))
+    return busy / (cores * window)

@@ -1,0 +1,39 @@
+"""Session: shared context for managers, DB and the site registry."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.core.db import Database
+from repro.saga.registry import Registry, default_registry
+from repro.sim.engine import Environment
+from repro.sim.rng import SeedSequenceRegistry
+
+
+class Session:
+    """One RADICAL-Pilot session.
+
+    Owns the simulation environment, the shared MongoDB stand-in, the
+    SAGA site registry and the seeded RNG registry — everything the
+    Pilot-Manager, Unit-Manager and agents need to find each other.
+    """
+
+    _seq = itertools.count(1)
+
+    def __init__(self, env: Environment,
+                 registry: Optional[Registry] = None,
+                 db: Optional[Database] = None,
+                 seed: int = 42):
+        self.env = env
+        self.uid = f"session.{next(Session._seq):04d}"
+        self.registry = registry or default_registry()
+        self.db = db or Database(env)
+        self.rng = SeedSequenceRegistry(seed)
+        self.closed = False
+
+    def close(self) -> None:
+        self.closed = True
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Session {self.uid}>"

@@ -1,0 +1,220 @@
+"""UnitManager: schedules Compute-Units onto pilots."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.core.agent.agent import advance_doc
+from repro.core.description import ComputeUnitDescription
+from repro.core.pilot import ComputePilot
+from repro.core.session import Session
+from repro.core.states import PilotState, UnitState
+from repro.core.unit import ComputeUnit
+from repro.sim.engine import Event
+
+
+class RoundRobinScheduler:
+    """Default UM scheduler: deal units over pilots in turn."""
+
+    def __init__(self):
+        self._rr = itertools.count()
+
+    def assign(self, unit: ComputeUnit,
+               pilots: List[ComputePilot]) -> ComputePilot:
+        usable = [p for p in pilots if not p.state.is_final]
+        if not usable:
+            raise RuntimeError("no usable pilots attached")
+        return usable[next(self._rr) % len(usable)]
+
+
+class BackfillScheduler:
+    """Prefer ACTIVE pilots with the most idle capacity (simple greedy)."""
+
+    def __init__(self):
+        self._load: Dict[str, int] = {}
+
+    def assign(self, unit: ComputeUnit,
+               pilots: List[ComputePilot]) -> ComputePilot:
+        usable = [p for p in pilots if not p.state.is_final]
+        if not usable:
+            raise RuntimeError("no usable pilots attached")
+        active = [p for p in usable if p.state is PilotState.ACTIVE]
+        pool = active or usable
+        chosen = min(pool, key=lambda p: self._load.get(p.uid, 0))
+        self._load[chosen.uid] = self._load.get(chosen.uid, 0) \
+            + unit.description.cores
+        return chosen
+
+
+class PredictiveScheduler:
+    """Completion-time-predicting scheduler (paper §V future work).
+
+    Learns per-pilot unit service times with an exponentially-weighted
+    moving average of observed executions, estimates each pilot's
+    earliest completion time for the new unit as::
+
+        ETA(pilot) = queued_core_seconds(pilot) / total_cores(pilot)
+                     + predicted_duration(pilot, unit)
+
+    and assigns the unit to the pilot with the smallest ETA.  With no
+    history it falls back to capacity-proportional load balancing.
+    ``observe`` is fed by the Unit-Manager as units finish.
+    """
+
+    def __init__(self, alpha: float = 0.3):
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self._ewma: Dict[str, float] = {}          # pilot -> seconds/core-task
+        self._queued_core_seconds: Dict[str, float] = {}
+
+    # ------------------------------------------------------------ learning
+    def observe(self, pilot_uid: str, duration: float, cores: int) -> None:
+        """Record one finished unit's execution time."""
+        per_core = duration  # duration already reflects the unit's cores
+        previous = self._ewma.get(pilot_uid)
+        self._ewma[pilot_uid] = per_core if previous is None else (
+            self.alpha * per_core + (1 - self.alpha) * previous)
+        backlog = self._queued_core_seconds.get(pilot_uid, 0.0)
+        self._queued_core_seconds[pilot_uid] = max(
+            0.0, backlog - duration * cores)
+
+    def predicted_duration(self, pilot: ComputePilot) -> float:
+        return self._ewma.get(pilot.uid, 60.0)
+
+    # ----------------------------------------------------------- assigning
+    def assign(self, unit: ComputeUnit,
+               pilots: List[ComputePilot]) -> ComputePilot:
+        usable = [p for p in pilots if not p.state.is_final]
+        if not usable:
+            raise RuntimeError("no usable pilots attached")
+
+        def eta(pilot: ComputePilot) -> float:
+            cores = pilot.agent_info.get("cores") or (
+                pilot.description.nodes * 16)
+            backlog = self._queued_core_seconds.get(pilot.uid, 0.0)
+            service = self.predicted_duration(pilot)
+            return backlog / max(1, cores) + service
+
+        chosen = min(usable, key=eta)
+        self._queued_core_seconds[chosen.uid] = (
+            self._queued_core_seconds.get(chosen.uid, 0.0)
+            + self.predicted_duration(chosen) * unit.description.cores)
+        return chosen
+
+
+class UnitManager:
+    """Client-side unit lifecycle (paper Figure 3, steps U.1-U.2).
+
+    Units are written to the shared DB assigned to a pilot; the agent
+    picks them up at its next poll.  A watcher replays agent-side state
+    changes onto the handles.
+    """
+
+    _seq = itertools.count(1)
+
+    def __init__(self, session: Session, scheduler=None):
+        self.session = session
+        self.env = session.env
+        self.uid = f"umgr.{next(UnitManager._seq):04d}"
+        self.scheduler = scheduler or RoundRobinScheduler()
+        self.pilots: List[ComputePilot] = []
+        self.units: Dict[str, ComputeUnit] = {}
+        self._observed: set = set()
+        self._watcher = self.env.process(self._watch_loop(),
+                                         name=f"{self.uid}-watch")
+
+    # -------------------------------------------------------------- pilots
+    def add_pilots(self, pilots: Union[ComputePilot,
+                                       Sequence[ComputePilot]]) -> None:
+        if isinstance(pilots, ComputePilot):
+            pilots = [pilots]
+        self.pilots.extend(pilots)
+
+    # --------------------------------------------------------------- units
+    def submit_units(self, descriptions: Union[
+            ComputeUnitDescription,
+            Sequence[ComputeUnitDescription]]) -> List[ComputeUnit]:
+        """Submit units; each is scheduled to a pilot and queued in the
+        shared DB.  Returns the handles."""
+        if isinstance(descriptions, ComputeUnitDescription):
+            descriptions = [descriptions]
+        if not self.pilots:
+            raise RuntimeError("add_pilots() before submit_units()")
+        col = self.session.db.collection("units")
+        handles = []
+        for desc in descriptions:
+            desc.validate()
+            uid = f"unit.{next(UnitManager._seq):06d}"
+            unit = ComputeUnit(self.env, uid, desc)
+            pilot = self.scheduler.assign(unit, self.pilots)
+            unit.pilot_uid = pilot.uid
+            self.units[uid] = unit
+            col.insert({
+                "_id": uid,
+                "pilot": pilot.uid,
+                "state": UnitState.NEW.value,
+                "history": [(self.env.now, UnitState.NEW.value)],
+                "description": desc,
+                "result": None,
+                "stderr": "",
+                "exit_code": None,
+            })
+            advance_doc(col, uid, UnitState.UMGR_SCHEDULING, self.env.now)
+            handles.append(unit)
+        return handles
+
+    def wait_units(self, units: Optional[Iterable[ComputeUnit]] = None) -> Event:
+        """Event firing when all given units (default: all) are final."""
+        targets = list(units) if units is not None else \
+            list(self.units.values())
+        return self.env.all_of([u.wait() for u in targets])
+
+    def cancel_units(self, units: Iterable[ComputeUnit]) -> None:
+        """Cancel units that have not been claimed by an agent yet.
+
+        Running units are canceled by pilot teardown; RP's semantics for
+        mid-flight cancellation are likewise best-effort.
+        """
+        col = self.session.db.collection("units")
+        for unit in units:
+            doc = col.find_one({"_id": unit.uid})
+            if doc and doc["state"] in (UnitState.NEW.value,
+                                        UnitState.UMGR_SCHEDULING.value):
+                advance_doc(col, unit.uid, UnitState.CANCELED, self.env.now)
+
+    # ------------------------------------------------------------- watcher
+    def _watch_loop(self):
+        col = self.session.db.collection("units")
+        while True:
+            change = col.watch()
+            self._sync()
+            yield change
+
+    def _sync(self) -> None:
+        col = self.session.db.collection("units")
+        for uid, unit in self.units.items():
+            doc = col.find_one({"_id": uid})
+            if doc is None:
+                continue
+            for _, state_value in doc["history"][len(unit.history):]:
+                unit.advance(UnitState(state_value))
+            if unit.state.is_final and uid not in self._observed:
+                self._observed.add(uid)
+                unit.result = doc.get("result")
+                unit.exit_code = doc.get("exit_code")
+                unit.stderr = doc.get("stderr", "")
+                self._feed_scheduler(unit)
+
+    def _feed_scheduler(self, unit: ComputeUnit) -> None:
+        """Report an execution observation to learning schedulers."""
+        observe = getattr(self.scheduler, "observe", None)
+        if observe is None or unit.pilot_uid is None:
+            return
+        t_exec = unit.timestamp(UnitState.EXECUTING)
+        t_done = unit.timestamp(UnitState.AGENT_STAGING_OUTPUT) \
+            or unit.timestamp(UnitState.DONE)
+        if t_exec is not None and t_done is not None:
+            observe(unit.pilot_uid, t_done - t_exec,
+                    unit.description.cores)

@@ -1,0 +1,44 @@
+"""Dedicated Hadoop environments (the Wrangler data-portal model).
+
+Machines flagged ``has_dedicated_hadoop`` (Wrangler) offer a
+system-operated, persistent YARN+HDFS deployment via a reservation
+mechanism (paper §III: "Wrangler supports dedicated Hadoop
+environments (based on Cloudera Hadoop 5.3) via a reservation
+mechanism").  Mode II pilots connect to it instead of booting their
+own.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hdfs.cluster import HdfsCluster
+from repro.saga.registry import Site
+from repro.sim.engine import SimulationError
+from repro.yarn.cluster import YarnCluster
+from repro.yarn.config import YarnConfig
+
+
+def provision_dedicated_hadoop(site: Site,
+                               yarn_config: Optional[YarnConfig] = None):
+    """Boot the machine's persistent Hadoop environment.  Generator.
+
+    Attaches ``site.dedicated_yarn`` and ``site.dedicated_hdfs``; the
+    Mode II LRM (:class:`~repro.core.agent.lrm.YarnConnectLrm`) finds
+    them there.  Raises if the machine does not advertise a dedicated
+    Hadoop environment.
+    """
+    if not site.machine.spec.has_dedicated_hadoop:
+        raise SimulationError(
+            f"{site.hostname} does not offer a dedicated Hadoop "
+            "environment")
+    env = site.env
+    hdfs = HdfsCluster(env, site.machine, site.machine.nodes,
+                       replication=3)
+    yield env.process(hdfs.start())
+    yarn = YarnCluster(env, site.machine, site.machine.nodes,
+                       config=yarn_config or YarnConfig())
+    yield env.process(yarn.start())
+    site.dedicated_hdfs = hdfs
+    site.dedicated_yarn = yarn
+    return yarn

@@ -1,0 +1,104 @@
+"""The SAGA-Hadoop tool (paper §III-A, Figure 2)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hadoop_deploy.plugins import FrameworkPlugin, make_plugin
+from repro.saga.job import Description as SagaDescription
+from repro.saga.job import Service
+from repro.saga.registry import Registry
+from repro.sim.engine import Environment, Event, Interrupt
+
+
+class SagaHadoop:
+    """Deploy and drive a Hadoop/Spark cluster on an HPC allocation.
+
+    Usage (inside a simulation process)::
+
+        tool = SagaHadoop(env, registry, resource="slurm://stampede",
+                          framework="yarn", nodes=2, walltime=60)
+        yield from tool.start()          # 1. Start Cluster
+        client = tool.yarn.client()      # 2. Submit Hadoop Application
+        ...                              # 3. Get Application Status
+        tool.stop()                      # 4. Stop Cluster
+        yield tool.stopped
+    """
+
+    def __init__(self, env: Environment, registry: Registry, resource: str,
+                 framework: str = "yarn", nodes: int = 1,
+                 walltime: float = 60.0, queue: str = "normal"):
+        self.env = env
+        self.service = Service(resource, registry)
+        self.framework = framework
+        self.nodes = nodes
+        self.walltime = walltime
+        self.queue = queue
+        self.plugin: Optional[FrameworkPlugin] = None
+        self.ready: Event = Event(env)
+        self.stopped: Event = Event(env)
+        self._stop_requested: Event = Event(env)
+        self._saga_job = None
+
+    # ---------------------------------------------------------------- start
+    def start(self):
+        """Submit the placeholder job and wait for the cluster.  Generator."""
+        self.plugin = make_plugin(self.framework, self.env,
+                                  self.service.site)
+        tool = self
+
+        def payload(env, batch_job):
+            from repro.core.agent.lrm import nodes_from_environment
+            nodes = nodes_from_environment(tool.service.site,
+                                           batch_job.env_vars)
+            try:
+                yield from tool.plugin.bootstrap(nodes)
+                tool.ready.succeed()
+                # Hold the allocation until stop (or walltime).
+                yield tool._stop_requested
+            except Interrupt:
+                pass
+            finally:
+                tool.plugin.stop()
+                if not tool.stopped.triggered:
+                    tool.stopped.succeed()
+
+        self._saga_job = self.service.create_job(SagaDescription(
+            executable="saga-hadoop",
+            arguments=(self.framework,),
+            number_of_nodes=self.nodes,
+            wall_time_limit=self.walltime,
+            queue=self.queue,
+            payload=payload))
+        self._saga_job.run()
+        yield self.ready
+
+    # --------------------------------------------------------------- access
+    @property
+    def yarn(self):
+        """The running YarnCluster (YARN framework only)."""
+        cluster = getattr(self.plugin, "yarn", None)
+        if cluster is None:
+            raise RuntimeError("no YARN cluster (framework or not started)")
+        return cluster
+
+    @property
+    def hdfs(self):
+        cluster = getattr(self.plugin, "hdfs", None)
+        if cluster is None:
+            raise RuntimeError("no HDFS cluster (framework or not started)")
+        return cluster
+
+    @property
+    def spark(self):
+        """The running SparkStandaloneCluster (Spark framework only)."""
+        cluster = getattr(self.plugin, "spark", None)
+        if cluster is None:
+            raise RuntimeError("no Spark cluster (framework or not started)")
+        return cluster
+
+    # ----------------------------------------------------------------- stop
+    def stop(self) -> None:
+        """Request cluster shutdown (step 4)."""
+        if not self._stop_requested.triggered:
+            self._stop_requested.succeed()

@@ -1,0 +1,71 @@
+"""Hardware-aware Hadoop configuration templates (paper §V).
+
+"In the future, we will provide configuration templates so that
+resource specific hardware can be exploited, e.g. available SSDs can
+significantly enhance the shuffle performance."  This module
+implements that: given a machine's hardware description it derives a
+tuned YARN configuration and the shuffle placement:
+
+* fast node-local storage (flash)  -> shuffle on local disks;
+* slow local disks + capable Lustre -> shuffle through the parallel
+  filesystem (the Intel Hadoop-Lustre adaptor pattern, §II);
+* NodeManager memory sized from node RAM, vcores from core count;
+* larger sort buffers on large-memory machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+from repro.cluster.machine import MachineSpec
+from repro.yarn.config import YarnConfig
+
+#: Local-disk bandwidth above which we call the storage "flash" and
+#: prefer it for the shuffle (bytes/s).
+FLASH_THRESHOLD_BW = 300e6
+
+
+@dataclass(frozen=True)
+class HadoopTemplate:
+    """A tuned deployment recipe for one machine."""
+
+    machine: str
+    yarn_config: YarnConfig
+    shuffle_transport: str          # "local" | "lustre"
+    io_sort_mb: int
+    rendered: Dict[str, str]
+
+
+def tune_for_machine(spec: MachineSpec,
+                     base: YarnConfig = YarnConfig()) -> HadoopTemplate:
+    """Derive the hardware-tuned template for ``spec``."""
+    local_is_flash = spec.local_disk.aggregate_bw >= FLASH_THRESHOLD_BW
+    lustre_faster = (spec.shared_fs.aggregate_bw
+                     > spec.local_disk.aggregate_bw * spec.num_nodes)
+    shuffle = "local" if (local_is_flash or not lustre_faster) else "lustre"
+
+    # large-memory nodes can afford bigger NM shares and sort buffers
+    memory_gb = spec.memory_per_node / 1024 ** 3
+    nm_fraction = 0.85 if memory_gb >= 96 else 0.8
+    io_sort_mb = 1024 if memory_gb >= 96 else 256
+
+    yarn_config = replace(base,
+                          nm_memory_fraction=nm_fraction,
+                          nm_vcore_ratio=2.0 if spec.cores_per_node >= 32
+                          else 1.0)
+
+    rendered = {
+        "mapred-site.xml.tuning": (
+            f"<property><name>mapreduce.task.io.sort.mb</name>"
+            f"<value>{io_sort_mb}</value></property>\n"
+            f"<property><name>mapreduce.job.shuffle.transport</name>"
+            f"<value>{shuffle}</value></property>\n"),
+        "yarn-site.xml.tuning": (
+            f"<property><name>yarn.nodemanager.resource.memory-mb</name>"
+            f"<value>{yarn_config.nm_memory_mb(spec.memory_per_node)}"
+            f"</value></property>\n"),
+    }
+    return HadoopTemplate(machine=spec.name, yarn_config=yarn_config,
+                          shuffle_transport=shuffle,
+                          io_sort_mb=io_sort_mb, rendered=rendered)

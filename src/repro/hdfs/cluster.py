@@ -1,0 +1,68 @@
+"""HdfsCluster: wiring and lifecycle of the HDFS daemons.
+
+This is what the Mode I LRM boots on the pilot's allocation: the first
+node (the agent's node) runs the NameNode, every node runs a DataNode.
+``start()`` models the real startup choreography — NameNode first, then
+DataNodes in parallel — whose cost shows up in the paper's Figure 5
+Mode I bars.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cluster.machine import Machine
+from repro.cluster.node import Node
+from repro.hdfs.datanode import DataNode
+from repro.hdfs.filesystem import HdfsClient
+from repro.hdfs.namenode import NameNode
+from repro.sim.engine import Environment
+from repro.sim.rng import RngStream
+
+
+class HdfsCluster:
+    """One HDFS deployment over a set of nodes."""
+
+    def __init__(self, env: Environment, machine: Machine,
+                 nodes: List[Node], replication: int = 3,
+                 block_size: float = 128 * 1024 ** 2,
+                 rng: Optional[RngStream] = None):
+        self.env = env
+        self.machine = machine
+        self.nodes = list(nodes)
+        # HDFS caps effective replication at the cluster size.
+        self.namenode = NameNode(env, replication=min(replication, len(nodes)),
+                                 block_size=block_size, rng=rng)
+        self.datanodes = [DataNode(env, node) for node in self.nodes]
+        for dn in self.datanodes:
+            self.namenode.register_datanode(dn)
+        self.running = False
+
+    @property
+    def master_node(self) -> Node:
+        """The node running the NameNode (first of the allocation)."""
+        return self.nodes[0]
+
+    def start(self):
+        """Boot NameNode then all DataNodes in parallel.  Generator."""
+        yield self.env.process(self.namenode.start())
+        starts = [self.env.process(dn.start()) for dn in self.datanodes]
+        yield self.env.all_of(starts)
+        self.running = True
+
+    def stop(self) -> None:
+        for dn in self.datanodes:
+            dn.stop()
+        self.namenode.stop()
+        self.running = False
+
+    def client(self, node_name: Optional[str] = None) -> HdfsClient:
+        """A client bound to ``node_name`` (None = off-cluster)."""
+        return HdfsClient(self.env, self.namenode, self.machine.network,
+                          local_node=node_name)
+
+    def datanode(self, node_name: str) -> DataNode:
+        for dn in self.datanodes:
+            if dn.name == node_name:
+                return dn
+        raise KeyError(f"no datanode on {node_name}")

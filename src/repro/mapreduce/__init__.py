@@ -1,0 +1,23 @@
+"""MapReduce: a functional MR engine running on the YARN substrate.
+
+The classic two-phase dataflow, executing *real Python* mappers and
+reducers over HDFS block payloads while every byte moved is charged to
+the storage/network models:
+
+* one map task per input block, scheduled with block locality
+  (``preferred_nodes`` = the block's replica holders);
+* map output hash-partitioned to ``num_reducers`` partitions, spilled
+  to the map node's **local disk** (the asset the paper credits for
+  YARN's shuffle advantage);
+* reducers fetch their partition from every map node over the network,
+  merge-sort by key, apply the reduce function, and write results to
+  HDFS.
+
+``MapReduceJob.run_on_yarn`` drives the whole thing as a YARN
+application (an MRAppMaster requesting task containers);
+``run_inline`` executes the same dataflow without YARN for tests.
+"""
+
+from repro.mapreduce.job import JobCounters, MapReduceJob, MRJobSpec
+
+__all__ = ["JobCounters", "MapReduceJob", "MRJobSpec"]

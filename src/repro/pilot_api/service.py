@@ -1,0 +1,206 @@
+"""BigJob-style services over the RADICAL-Pilot core."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.core.description import (
+    AgentConfig,
+    ComputePilotDescription,
+    ComputeUnitDescription,
+)
+from repro.core.pilot import ComputePilot
+from repro.core.pilot_manager import PilotManager
+from repro.core.session import Session
+from repro.core.states import PilotState, UnitState
+from repro.core.unit import ComputeUnit
+from repro.core.unit_manager import UnitManager
+
+
+class State:
+    """BigJob state constants (strings, as in the Pilot-API)."""
+
+    Unknown = "Unknown"
+    New = "New"
+    Running = "Running"
+    Done = "Done"
+    Canceled = "Canceled"
+    Failed = "Failed"
+
+
+_PILOT_STATE_MAP = {
+    PilotState.NEW: State.New,
+    PilotState.PENDING_LAUNCH: State.New,
+    PilotState.LAUNCHING: State.New,
+    PilotState.PENDING_ACTIVE: State.New,
+    PilotState.ACTIVE: State.Running,
+    PilotState.DONE: State.Done,
+    PilotState.CANCELED: State.Canceled,
+    PilotState.FAILED: State.Failed,
+}
+
+_UNIT_STATE_MAP = {
+    UnitState.NEW: State.New,
+    UnitState.UMGR_SCHEDULING: State.New,
+    UnitState.AGENT_STAGING_INPUT: State.New,
+    UnitState.AGENT_SCHEDULING: State.New,
+    UnitState.EXECUTING: State.Running,
+    UnitState.AGENT_STAGING_OUTPUT: State.Running,
+    UnitState.DONE: State.Done,
+    UnitState.CANCELED: State.Canceled,
+    UnitState.FAILED: State.Failed,
+}
+
+
+class PilotCompute:
+    """BigJob's pilot handle: dict-in, string-states-out."""
+
+    def __init__(self, pilot: ComputePilot, pmgr: PilotManager):
+        self._pilot = pilot
+        self._pmgr = pmgr
+
+    def get_state(self) -> str:
+        return _PILOT_STATE_MAP[self._pilot.state]
+
+    def get_details(self) -> Dict[str, Any]:
+        return {
+            "uid": self._pilot.uid,
+            "description": self._pilot.description,
+            "state": self.get_state(),
+            "agent": dict(self._pilot.agent_info),
+        }
+
+    def wait_active(self):
+        """Event firing when the pilot can accept work."""
+        return self._pilot.wait(PilotState.ACTIVE)
+
+    def cancel(self) -> None:
+        self._pmgr.cancel_pilot(self._pilot.uid)
+
+    @property
+    def native(self) -> ComputePilot:
+        """Escape hatch to the RADICAL-Pilot handle."""
+        return self._pilot
+
+
+def _pilot_description_from_dict(d: Dict[str, Any]) -> ComputePilotDescription:
+    """Translate a BigJob pilot_compute_description dict."""
+    unknown = set(d) - {"service_url", "number_of_nodes",
+                        "number_of_processes", "walltime", "queue",
+                        "project", "affinity_datacenter_label",
+                        "working_directory", "lrm"}
+    if unknown:
+        raise ValueError(f"unknown pilot description keys: {sorted(unknown)}")
+    if "service_url" not in d:
+        raise ValueError("pilot description needs 'service_url'")
+    nodes = d.get("number_of_nodes")
+    if nodes is None:
+        # BigJob sizes pilots in processes; map to nodes conservatively
+        processes = d.get("number_of_processes", 1)
+        nodes = max(1, (processes + 15) // 16)
+    return ComputePilotDescription(
+        resource=d["service_url"],
+        nodes=int(nodes),
+        runtime=float(d.get("walltime", 60)),
+        queue=d.get("queue", "normal"),
+        project=d.get("project"),
+        agent_config=AgentConfig(lrm=d.get("lrm", "fork")))
+
+
+def _unit_description_from_dict(d: Dict[str, Any]) -> ComputeUnitDescription:
+    """Translate a BigJob compute_unit_description dict."""
+    unknown = set(d) - {"executable", "arguments", "number_of_processes",
+                        "spmd_variation", "output", "error",
+                        "input_staging", "output_staging",
+                        "cpu_seconds", "input_bytes", "output_bytes",
+                        "function", "args", "kwargs", "memory_mb"}
+    if unknown:
+        raise ValueError(f"unknown unit description keys: {sorted(unknown)}")
+    spmd = d.get("spmd_variation", "single")
+    launch = "mpiexec" if spmd == "mpi" else None
+    return ComputeUnitDescription(
+        executable=d.get("executable", "/bin/true"),
+        arguments=tuple(d.get("arguments", ())),
+        cores=int(d.get("number_of_processes", 1)),
+        memory_mb=d.get("memory_mb"),
+        cpu_seconds=float(d.get("cpu_seconds", 0.0)),
+        input_bytes=float(d.get("input_bytes", 0.0)),
+        output_bytes=float(d.get("output_bytes", 0.0)),
+        function=d.get("function"),
+        args=tuple(d.get("args", ())),
+        kwargs=dict(d.get("kwargs", {})),
+        input_staging=tuple(d.get("input_staging", ())),
+        output_staging=tuple(d.get("output_staging", ())),
+        launch_method=launch)
+
+
+class PilotComputeService:
+    """BigJob's pilot factory."""
+
+    def __init__(self, session: Session):
+        self.session = session
+        self._pmgr = PilotManager(session)
+        self.pilots: List[PilotCompute] = []
+
+    def create_pilot(self, description: Dict[str, Any]) -> PilotCompute:
+        pilot = self._pmgr.submit_pilot(
+            _pilot_description_from_dict(description))
+        handle = PilotCompute(pilot, self._pmgr)
+        self.pilots.append(handle)
+        return handle
+
+    def cancel(self) -> None:
+        """Cancel all pilots created by this service."""
+        for handle in self.pilots:
+            if not handle.native.state.is_final:
+                handle.cancel()
+
+
+class ComputeUnitHandle:
+    """BigJob's compute-unit handle."""
+
+    def __init__(self, unit: ComputeUnit):
+        self._unit = unit
+
+    def get_state(self) -> str:
+        return _UNIT_STATE_MAP[self._unit.state]
+
+    def get_result(self) -> Any:
+        return self._unit.result
+
+    def wait(self):
+        """Event firing when the unit reaches a final state."""
+        return self._unit.wait()
+
+    @property
+    def native(self) -> ComputeUnit:
+        return self._unit
+
+
+class ComputeDataService:
+    """BigJob's work dispatcher: submit dict-described units, wait().
+
+    (BigJob's CDS also matched Data-Units; the richer data-affinity
+    path lives in :class:`repro.core.data.ComputeDataService` — this
+    facade covers the compute side of the classic API.)
+    """
+
+    def __init__(self, session: Session):
+        self.session = session
+        self._umgr = UnitManager(session)
+        self.units: List[ComputeUnitHandle] = []
+
+    def add_pilot_compute_service(self, pcs: PilotComputeService) -> None:
+        self._umgr.add_pilots([h.native for h in pcs.pilots])
+
+    def submit_compute_unit(self, description: Dict[str, Any]
+                            ) -> ComputeUnitHandle:
+        units = self._umgr.submit_units(
+            _unit_description_from_dict(description))
+        handle = ComputeUnitHandle(units[0])
+        self.units.append(handle)
+        return handle
+
+    def wait(self):
+        """Event firing when every submitted unit is final."""
+        return self._umgr.wait_units([h.native for h in self.units])

@@ -1,0 +1,51 @@
+"""HPC resource management systems (batch schedulers).
+
+Discrete-event models of the system-level schedulers the paper's
+Pilot-Manager submits placeholder jobs to: SLURM (Stampede), Torque/PBS
+and SGE.  All share one engine (:class:`BatchScheduler`): node-exclusive
+FIFO scheduling with aggressive backfill, walltime enforcement, and
+per-RMS environment-variable export — the variables the RADICAL-Pilot
+agent's Local Resource Manager parses to discover its allocation
+(``SLURM_NODELIST``, ``PBS_NODEFILE``, ``PE_HOSTFILE``).
+
+A batch *job payload* is a Python generator factory executed as a
+simulation process on the allocated nodes; the RADICAL-Pilot agent and
+SAGA-Hadoop bootstrap are such payloads.
+"""
+
+from repro.rms.base import Allocation, BatchScheduler, RmsConfig
+from repro.rms.job import BatchJob, JobDescription, JobState
+from repro.rms.sge import SgeScheduler
+from repro.rms.slurm import SlurmScheduler
+from repro.rms.torque import TorqueScheduler
+
+__all__ = [
+    "Allocation",
+    "BatchJob",
+    "BatchScheduler",
+    "JobDescription",
+    "JobState",
+    "RmsConfig",
+    "SgeScheduler",
+    "SlurmScheduler",
+    "TorqueScheduler",
+]
+
+#: Registry mapping SAGA-style scheme names to scheduler classes.
+SCHEDULER_TYPES = {
+    "slurm": SlurmScheduler,
+    "torque": TorqueScheduler,
+    "pbs": TorqueScheduler,
+    "sge": SgeScheduler,
+}
+
+
+def make_scheduler(kind: str, env, machine, config: RmsConfig = None):
+    """Instantiate a batch scheduler of the given kind on a machine."""
+    try:
+        cls = SCHEDULER_TYPES[kind.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown RMS kind {kind!r}; expected one of "
+            f"{sorted(SCHEDULER_TYPES)}") from None
+    return cls(env, machine, config or RmsConfig())

@@ -1,0 +1,236 @@
+"""The shared batch-scheduler engine.
+
+Node-exclusive FIFO scheduling with aggressive backfill: the head of
+the queue waits for enough free nodes; any later job that already fits
+may jump ahead (this is how production SLURM behaves with backfill
+enabled and no reservations, and it keeps small pilot jobs flowing on a
+busy machine).
+
+Timing model per job (all configurable via :class:`RmsConfig`):
+
+* ``submit_latency`` — the qsub/sbatch round-trip.
+* ``schedule_interval`` — the scheduler's periodic cycle; jobs only
+  start on cycle boundaries.
+* ``prolog_seconds`` — per-job node health-check/prolog before the
+  payload launches (a real and visible chunk of pilot startup time).
+* walltime enforcement — payloads still running at the limit are
+  interrupted and the job ends in ``TIMEOUT``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cluster.machine import Machine
+from repro.cluster.node import Node
+from repro.rms.job import BatchJob, JobDescription, JobState
+from repro.sim.engine import Environment, Interrupt
+
+
+@dataclass(frozen=True)
+class RmsConfig:
+    """Tunable timing/behaviour knobs of a batch system."""
+
+    submit_latency: float = 1.0
+    schedule_interval: float = 5.0
+    prolog_seconds: float = 8.0
+    epilog_seconds: float = 2.0
+    backfill: bool = True
+
+
+class Allocation:
+    """The set of nodes a running job owns exclusively."""
+
+    def __init__(self, nodes: List[Node]):
+        self.nodes = list(nodes)
+
+    @property
+    def node_names(self) -> List[str]:
+        return [n.name for n in self.nodes]
+
+    @property
+    def total_cores(self) -> int:
+        return sum(n.num_cores for n in self.nodes)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self):
+        return iter(self.nodes)
+
+
+class BatchScheduler:
+    """Base class for SLURM/Torque/SGE frontends."""
+
+    #: Subclasses override: scheme name used in SAGA URLs and logging.
+    kind = "batch"
+
+    def __init__(self, env: Environment, machine: Machine,
+                 config: Optional[RmsConfig] = None):
+        self.env = env
+        self.machine = machine
+        self.config = config or RmsConfig()
+        self.jobs: Dict[str, BatchJob] = {}
+        self._queue: List[BatchJob] = []
+        self._free_nodes: List[Node] = list(machine.nodes)
+        self._job_counter = itertools.count(1)
+        self._payload_procs: Dict[str, object] = {}
+        self._kick = env.event()
+        env.process(self._scheduler_loop(), name=f"{self.kind}-sched")
+
+    # ------------------------------------------------------------- queries
+    @property
+    def free_node_count(self) -> int:
+        return len(self._free_nodes)
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def get_job(self, job_id: str) -> BatchJob:
+        return self.jobs[job_id]
+
+    # ---------------------------------------------------------- submission
+    def submit(self, description: JobDescription) -> BatchJob:
+        """Submit a job; returns its handle immediately (state NEW).
+
+        The job turns PENDING after the configured submit latency, then
+        competes for nodes in the next scheduling cycle.
+        """
+        description.validate()
+        if description.num_nodes > len(self.machine.nodes):
+            raise ValueError(
+                f"job wants {description.num_nodes} nodes, machine "
+                f"{self.machine.name} has {len(self.machine.nodes)}")
+        job_id = self._format_job_id(next(self._job_counter))
+        job = BatchJob(self.env, job_id, description)
+        self.jobs[job_id] = job
+        self.env.process(self._accept(job), name=f"accept-{job_id}")
+        return job
+
+    def cancel(self, job_id: str) -> None:
+        """Cancel a pending or running job (scancel/qdel)."""
+        job = self.jobs[job_id]
+        if job.state.is_final:
+            return
+        if job.state in (JobState.NEW, JobState.PENDING):
+            if job in self._queue:
+                self._queue.remove(job)
+            # NEW jobs must pass through PENDING to reach CANCELED.
+            if job.state is JobState.NEW:
+                job.advance(JobState.PENDING)
+            job.advance(JobState.CANCELED, reason="canceled by user")
+        elif job.state is JobState.RUNNING:
+            proc = self._payload_procs.get(job_id)
+            if proc is not None and proc.is_alive:
+                proc.interrupt(cause="canceled")
+            # final state is applied by the runner wrapper
+
+    # ------------------------------------------------------------ internals
+    def _format_job_id(self, n: int) -> str:
+        return f"{self.kind}.{n}"
+
+    def _accept(self, job: BatchJob):
+        yield self.env.timeout(self.config.submit_latency)
+        if job.state is not JobState.NEW:  # canceled during submit RTT
+            return
+        job.advance(JobState.PENDING)
+        job.submit_time = self.env.now
+        self._queue.append(job)
+        self._kick_scheduler()
+
+    def _kick_scheduler(self) -> None:
+        if not self._kick.triggered:
+            self._kick.succeed()
+
+    def _scheduler_loop(self):
+        while True:
+            # Wake on either the periodic cycle or an explicit kick.
+            kick = self._kick
+            yield self.env.any_of([self.env.timeout(
+                self.config.schedule_interval), kick])
+            if kick.triggered:
+                self._kick = self.env.event()
+            self._run_cycle()
+
+    def _run_cycle(self) -> None:
+        """One scheduling pass: FIFO head first, then backfill."""
+        started = True
+        while started:
+            started = False
+            for index, job in enumerate(list(self._queue)):
+                fits = job.description.num_nodes <= len(self._free_nodes)
+                if fits:
+                    self._queue.remove(job)
+                    self._dispatch(job)
+                    started = True
+                    break
+                if index == 0 and not self.config.backfill:
+                    return  # strict FIFO: blocked head blocks everyone
+                if not self.config.backfill:
+                    return
+
+    def _dispatch(self, job: BatchJob) -> None:
+        take = job.description.num_nodes
+        nodes, self._free_nodes = (self._free_nodes[:take],
+                                   self._free_nodes[take:])
+        job.allocation = Allocation(nodes)
+        job.env_vars = self.export_environment(job)
+        job.env_vars.update(job.description.environment)
+        self._payload_procs[job.job_id] = None
+        self.env.process(self._run(job), name=f"run-{job.job_id}")
+
+    def _run(self, job: BatchJob):
+        yield self.env.timeout(self.config.prolog_seconds)
+        job.advance(JobState.RUNNING)
+        payload = job.description.payload
+        outcome_state = JobState.DONE
+        reason = None
+        if payload is not None:
+            proc = self.env.process(
+                payload(self.env, job), name=f"payload-{job.job_id}")
+            self._payload_procs[job.job_id] = proc
+            limit = self.env.timeout(job.description.walltime)
+            try:
+                result = yield self.env.any_of([proc, limit])
+                if proc in result:
+                    job.exit_code = 0
+                else:
+                    # Walltime exceeded: kill the payload.
+                    if proc.is_alive:
+                        proc.interrupt(cause="walltime")
+                        try:
+                            yield proc
+                        except BaseException:
+                            pass
+                    outcome_state = JobState.TIMEOUT
+                    reason = "walltime exceeded"
+            except Interrupt as exc:
+                if exc.cause == "canceled":
+                    outcome_state = JobState.CANCELED
+                    reason = "canceled by user"
+                else:
+                    outcome_state = JobState.FAILED
+                    reason = repr(exc)
+            except Exception as exc:
+                outcome_state = JobState.FAILED
+                reason = repr(exc)
+        yield self.env.timeout(self.config.epilog_seconds)
+        self._release(job)
+        job.advance(outcome_state, reason=reason)
+        self._kick_scheduler()
+
+    def _release(self, job: BatchJob) -> None:
+        if job.allocation is not None:
+            self._free_nodes.extend(job.allocation.nodes)
+            job.allocation_released = True
+
+    # -------------------------------------------------------- RMS dialects
+    def export_environment(self, job: BatchJob) -> Dict[str, str]:
+        """Per-RMS environment variables visible to the payload.
+
+        Subclasses provide the dialect the RADICAL-Pilot LRM parses.
+        """
+        raise NotImplementedError

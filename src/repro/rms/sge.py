@@ -1,0 +1,33 @@
+"""SGE (Sun Grid Engine) dialect of the batch-scheduler engine."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.rms.base import BatchScheduler
+from repro.rms.job import BatchJob
+
+
+class SgeScheduler(BatchScheduler):
+    """SGE: ``qsub`` submission, ``PE_HOSTFILE``-style environment export.
+
+    As with Torque, ``PE_HOSTFILE`` carries the file *content*: one line
+    per node in the SGE format ``<host> <slots> <queue> <processors>``.
+    """
+
+    kind = "sge"
+
+    def export_environment(self, job: BatchJob) -> Dict[str, str]:
+        alloc = job.allocation
+        hostfile_lines = [
+            f"{node.name} {node.num_cores} {job.description.queue}@"
+            f"{node.name} UNDEFINED"
+            for node in alloc.nodes
+        ]
+        return {
+            "JOB_ID": job.job_id.split(".")[-1],
+            "PE_HOSTFILE": "\n".join(hostfile_lines),
+            "NSLOTS": str(alloc.total_cores),
+            "NHOSTS": str(len(alloc)),
+            "QUEUE": job.description.queue,
+        }

@@ -1,0 +1,72 @@
+"""SLURM dialect of the batch-scheduler engine."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.rms.base import BatchScheduler
+from repro.rms.job import BatchJob
+
+
+def compress_nodelist(names: List[str]) -> str:
+    """Render SLURM's compressed hostlist format, e.g. ``c[401-403,410]``.
+
+    Assumes homogeneous ``<prefix><digits>`` names, which our machine
+    templates guarantee.
+    """
+    if not names:
+        return ""
+    prefix = names[0].rstrip("0123456789")
+    if not all(n.startswith(prefix) and n[len(prefix):].isdigit()
+               for n in names):
+        return ",".join(names)
+    width = len(names[0]) - len(prefix)
+    numbers = sorted(int(n[len(prefix):]) for n in names)
+    ranges = []
+    lo = hi = numbers[0]
+    for n in numbers[1:]:
+        if n == hi + 1:
+            hi = n
+        else:
+            ranges.append((lo, hi))
+            lo = hi = n
+    ranges.append((lo, hi))
+    parts = [f"{lo:0{width}d}" if lo == hi else
+             f"{lo:0{width}d}-{hi:0{width}d}" for lo, hi in ranges]
+    return f"{prefix}[{','.join(parts)}]"
+
+
+def expand_nodelist(compressed: str) -> List[str]:
+    """Inverse of :func:`compress_nodelist`."""
+    if "[" not in compressed:
+        return [n for n in compressed.split(",") if n]
+    prefix, _, rest = compressed.partition("[")
+    body = rest.rstrip("]")
+    names = []
+    for part in body.split(","):
+        if "-" in part:
+            lo_s, hi_s = part.split("-")
+            width = len(lo_s)
+            for n in range(int(lo_s), int(hi_s) + 1):
+                names.append(f"{prefix}{n:0{width}d}")
+        else:
+            names.append(f"{prefix}{part}")
+    return names
+
+
+class SlurmScheduler(BatchScheduler):
+    """SLURM: ``sbatch`` submission, ``SLURM_*`` environment export."""
+
+    kind = "slurm"
+
+    def export_environment(self, job: BatchJob) -> Dict[str, str]:
+        alloc = job.allocation
+        return {
+            "SLURM_JOB_ID": job.job_id.split(".")[-1],
+            "SLURM_NODELIST": compress_nodelist(alloc.node_names),
+            "SLURM_NNODES": str(len(alloc)),
+            "SLURM_CPUS_ON_NODE": str(alloc.nodes[0].num_cores),
+            "SLURM_JOB_NUM_NODES": str(len(alloc)),
+            "SLURM_MEM_PER_NODE": str(
+                int(alloc.nodes[0].memory_bytes // (1024 ** 2))),
+        }

@@ -1,0 +1,33 @@
+"""Torque/PBS dialect of the batch-scheduler engine."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.rms.base import BatchScheduler
+from repro.rms.job import BatchJob
+
+
+class TorqueScheduler(BatchScheduler):
+    """Torque/PBS: ``qsub`` submission, ``PBS_*`` environment export.
+
+    ``PBS_NODEFILE`` is materialized as a newline-joined string rather
+    than a filesystem path (no real filesystem in the simulation); the
+    LRM treats the variable's *content* as the file body, with one line
+    per core per node as Torque does.
+    """
+
+    kind = "torque"
+
+    def export_environment(self, job: BatchJob) -> Dict[str, str]:
+        alloc = job.allocation
+        nodefile_lines = []
+        for node in alloc.nodes:
+            nodefile_lines.extend([node.name] * node.num_cores)
+        return {
+            "PBS_JOBID": job.job_id.split(".")[-1] + ".sim-headnode",
+            "PBS_NODEFILE": "\n".join(nodefile_lines),
+            "PBS_NUM_NODES": str(len(alloc)),
+            "PBS_NUM_PPN": str(alloc.nodes[0].num_cores),
+            "PBS_QUEUE": job.description.queue,
+        }

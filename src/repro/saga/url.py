@@ -1,0 +1,30 @@
+"""Minimal SAGA URL parsing: ``scheme://host/path``."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Url:
+    """A parsed SAGA URL."""
+
+    scheme: str
+    host: str
+    path: str = "/"
+
+    @classmethod
+    def parse(cls, url: str) -> "Url":
+        """Parse ``scheme://host/path`` (path optional)."""
+        if "://" not in url:
+            raise ValueError(f"malformed SAGA URL {url!r} (missing scheme)")
+        scheme, _, rest = url.partition("://")
+        if not scheme:
+            raise ValueError(f"malformed SAGA URL {url!r} (empty scheme)")
+        host, slash, path = rest.partition("/")
+        if not host:
+            raise ValueError(f"malformed SAGA URL {url!r} (empty host)")
+        return cls(scheme=scheme.lower(), host=host, path=slash + path or "/")
+
+    def __str__(self) -> str:
+        return f"{self.scheme}://{self.host}{self.path}"

@@ -1,0 +1,394 @@
+"""Event loop, events and processes for the simulation kernel.
+
+The design follows the classic process-interaction style: a *process* is
+a Python generator that yields :class:`Event` objects; the environment
+resumes the generator when the yielded event fires.  Events fire in
+``(time, priority, sequence)`` order, giving a deterministic total order
+for simultaneous events — crucial for reproducible benchmarks.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+#: Event priorities.  Lower values fire first at equal timestamps.
+PRIORITY_URGENT = 0
+PRIORITY_NORMAL = 1
+
+
+class SimulationError(RuntimeError):
+    """Raised for illegal kernel usage (double trigger, negative delay...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries the value passed to ``interrupt()``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A condition that may fire once, carrying an optional value.
+
+    Processes wait on events by ``yield``-ing them.  An event is either
+    *pending*, *triggered* (scheduled to fire) or *processed* (callbacks
+    ran).  Failing an event propagates the exception into every waiting
+    process.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_processed", "_triggered")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._processed = False
+        self._triggered = False
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has been scheduled to fire."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """Whether the event's callbacks have already run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """False when the event carries an exception."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's payload (or the exception, for failed events)."""
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Schedule this event to fire with ``value``."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._triggered = True
+        self._value = value
+        self.env._schedule(self, PRIORITY_NORMAL)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Schedule this event to fire by raising ``exception`` in waiters."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() needs an exception instance")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, PRIORITY_NORMAL)
+        return self
+
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self._processed = True
+        for callback in callbacks or ():
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self._processed else (
+            "triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated seconds in the future."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        env._schedule(self, PRIORITY_NORMAL, delay)
+
+
+class Initialize(Event):
+    """Internal: first resumption of a freshly-spawned process."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._triggered = True
+        env._schedule(self, PRIORITY_URGENT)
+
+
+class Process(Event):
+    """Wraps a generator; itself an event that fires when the generator ends.
+
+    The process's value is the generator's return value; an uncaught
+    exception fails the process event (and escapes to the environment if
+    nobody is waiting on it).
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env: "Environment", generator: Generator,
+                 name: Optional[str] = None):
+        if not hasattr(generator, "throw"):
+            raise SimulationError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True until the underlying generator has finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a
+        process blocked on an event detaches it from that event first.
+        """
+        if self._triggered:
+            raise SimulationError(f"{self.name} already terminated")
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event._triggered = True
+        event.callbacks.append(self._resume)
+        self.env._schedule(event, PRIORITY_URGENT)
+        # Detach from whatever we were waiting on, so the original event
+        # does not resume us a second time.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - already detached
+                pass
+            self._target = None
+
+    def _resume(self, event: Event) -> None:
+        self.env._active_process = self
+        while True:
+            try:
+                if event.ok:
+                    next_event = self._generator.send(event.value)
+                else:
+                    # The exception escapes into the generator.
+                    next_event = self._generator.throw(event.value)
+            except StopIteration as stop:
+                self.env._active_process = None
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                self.env._active_process = None
+                if not self.callbacks:
+                    # Nobody is waiting: crash the simulation loudly
+                    # rather than losing the error.
+                    self.env._crash(exc, self)
+                    return
+                self._triggered = True
+                self._ok = False
+                self._value = exc
+                self.env._schedule(self, PRIORITY_NORMAL)
+                return
+
+            if not isinstance(next_event, Event):
+                self.env._active_process = None
+                self.env._crash(
+                    SimulationError(
+                        f"process {self.name!r} yielded {next_event!r}, "
+                        "expected an Event"),
+                    self)
+                return
+            if next_event.callbacks is None:
+                # Already processed: resume immediately with its value.
+                event = next_event
+                continue
+            next_event.callbacks.append(self._resume)
+            self._target = next_event
+            self.env._active_process = None
+            return
+
+
+class Condition(Event):
+    """Base for AnyOf/AllOf composite events."""
+
+    __slots__ = ("_events", "_count")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        self._count = 0
+        if not self._events:
+            self.succeed({})
+            return
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("events belong to different environments")
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _collect(self) -> dict[Event, Any]:
+        return {e: e.value for e in self._events if e.processed}
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AnyOf(Condition):
+    """Fires when the first of the given events fires."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+        else:
+            self.succeed(self._collect())
+
+
+class AllOf(Condition):
+    """Fires when all of the given events have fired."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._count += 1
+        if self._count == len(self._events):
+            self.succeed(self._collect())
+
+
+class Environment:
+    """The simulation environment: clock + event queue + process spawner."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._counter = itertools.count()
+        self._active_process: Optional[Process] = None
+        self._crashed: Optional[BaseException] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- primitives -------------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        """Spawn ``generator`` as a process; returns its process event."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event firing when any constituent fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event firing when all constituents have fired."""
+        return AllOf(self, events)
+
+    # -- scheduling -------------------------------------------------------
+    def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
+        heapq.heappush(
+            self._queue,
+            (self._now + delay, priority, next(self._counter), event))
+
+    def _crash(self, exc: BaseException, process: Optional[Process]) -> None:
+        self._crashed = exc
+        exc.args = (f"unhandled error in process "
+                    f"{process.name if process else '?'}: {exc}",)
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._queue:
+            raise SimulationError("no scheduled events")
+        self._now, _, _, event = heapq.heappop(self._queue)
+        event._run_callbacks()
+        if self._crashed is not None:
+            exc, self._crashed = self._crashed, None
+            raise exc
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run to exhaustion), a number (run until
+        the clock reaches it), or an :class:`Event` (run until it fires,
+        returning its value).
+        """
+        stop_event: Optional[Event] = None
+        stop_time = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+            if stop_event.processed:
+                if not stop_event.ok:
+                    raise stop_event.value
+                return stop_event.value
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise SimulationError(
+                    f"until={stop_time} lies in the past (now={self._now})")
+
+        while self._queue:
+            if stop_event is not None and stop_event.processed:
+                break
+            if self.peek() > stop_time:
+                self._now = stop_time
+                break
+            self.step()
+
+        if stop_event is not None:
+            if not stop_event.processed:
+                if until is not None and stop_event is until and not self._queue:
+                    raise SimulationError(
+                        "event queue empty but 'until' event never fired")
+            if stop_event.processed:
+                if not stop_event.ok:
+                    raise stop_event.value
+                return stop_event.value
+        elif until is not None and self._now < stop_time and not self._queue:
+            # Queue exhausted before the requested horizon: the clock
+            # still advances to it, matching SimPy semantics.
+            self._now = stop_time
+        return None

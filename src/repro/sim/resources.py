@@ -1,0 +1,232 @@
+"""Shared-resource primitives for the simulation kernel.
+
+Three classics:
+
+* :class:`Resource` — N identical slots with FIFO queuing (CPU cores,
+  scheduler job slots).  Requests are events; release returns the slot.
+* :class:`Level` — a continuous quantity between 0 and ``capacity``
+  (memory pools, disk space).  ``get``/``put`` block until satisfiable.
+* :class:`Store` — an unbounded (or bounded) FIFO of Python objects, the
+  message channel between simulated daemons.
+
+All wait queues are strictly FIFO, which keeps simulations deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Optional
+
+from repro.sim.engine import Environment, Event, SimulationError
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot.
+
+    Usable as a context manager::
+
+        with resource.request() as req:
+            yield req
+            ...  # slot held
+    """
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw a not-yet-granted request (used on interrupt)."""
+        self.resource._cancel(self)
+
+
+class Resource:
+    """``capacity`` identical slots, granted FIFO."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._users: list[Request] = []
+        self._waiting: deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    def request(self) -> Request:
+        """Claim one slot; the returned event fires when granted."""
+        req = Request(self)
+        if len(self._users) < self.capacity:
+            self._users.append(req)
+            req.succeed()
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a slot.  Releasing an ungranted request cancels it."""
+        if request in self._users:
+            self._users.remove(request)
+            self._grant_next()
+        else:
+            self._cancel(request)
+
+    def _cancel(self, request: Request) -> None:
+        try:
+            self._waiting.remove(request)
+        except ValueError:
+            pass
+
+    def _grant_next(self) -> None:
+        while self._waiting and len(self._users) < self.capacity:
+            req = self._waiting.popleft()
+            if req.triggered:  # interrupted waiter; skip
+                continue
+            self._users.append(req)
+            req.succeed()
+
+
+class Level:
+    """A continuous quantity with blocking ``get``/``put``.
+
+    ``get`` requests are served FIFO; a large request at the queue head
+    blocks smaller ones behind it (no overtaking), which models fair
+    bandwidth/memory allocation.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf"),
+                 init: float = 0.0):
+        if capacity <= 0:
+            raise SimulationError("capacity must be positive")
+        if not 0 <= init <= capacity:
+            raise SimulationError("init outside [0, capacity]")
+        self.env = env
+        self.capacity = capacity
+        self._level = float(init)
+        self._getters: deque[tuple[Event, float]] = deque()
+        self._putters: deque[tuple[Event, float]] = deque()
+
+    @property
+    def level(self) -> float:
+        """Current stored amount."""
+        return self._level
+
+    def get(self, amount: float) -> Event:
+        """Take ``amount`` out; fires when available."""
+        if amount <= 0:
+            raise SimulationError(f"get amount must be positive, got {amount}")
+        event = Event(self.env)
+        self._getters.append((event, amount))
+        self._drain()
+        return event
+
+    def put(self, amount: float) -> Event:
+        """Add ``amount``; fires when it fits under ``capacity``."""
+        if amount <= 0:
+            raise SimulationError(f"put amount must be positive, got {amount}")
+        event = Event(self.env)
+        self._putters.append((event, amount))
+        self._drain()
+        return event
+
+    def _drain(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._putters:
+                event, amount = self._putters[0]
+                if self._level + amount <= self.capacity:
+                    self._putters.popleft()
+                    if not event.triggered:
+                        self._level += amount
+                        event.succeed()
+                    progress = True
+            if self._getters:
+                event, amount = self._getters[0]
+                if amount <= self._level:
+                    self._getters.popleft()
+                    if not event.triggered:
+                        self._level -= amount
+                        event.succeed()
+                    progress = True
+
+
+class Store:
+    """FIFO object queue; ``get`` blocks on empty, ``put`` on full."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise SimulationError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: deque[Any] = deque()
+        self._getters: deque[tuple[Event, Optional[Callable[[Any], bool]]]] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        """Append ``item``; fires when there is room."""
+        event = Event(self.env)
+        self._putters.append((event, item))
+        self._drain()
+        return event
+
+    def get(self, filt: Optional[Callable[[Any], bool]] = None) -> Event:
+        """Pop the oldest item (optionally the oldest matching ``filt``)."""
+        event = Event(self.env)
+        self._getters.append((event, filt))
+        self._drain()
+        return event
+
+    def _drain(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            while self._putters and len(self.items) < self.capacity:
+                event, item = self._putters.popleft()
+                if not event.triggered:
+                    self.items.append(item)
+                    event.succeed()
+                progress = True
+            # Serve getters; a filter getter that matches nothing stays
+            # queued but must not block non-filter getters behind it.
+            missing = object()
+            pending: deque[tuple[Event, Optional[Callable[[Any], bool]]]] = deque()
+            while self._getters:
+                event, filt = self._getters.popleft()
+                if event.triggered:
+                    progress = True
+                    continue
+                found: Any = missing
+                if filt is None:
+                    if self.items:
+                        found = self.items.popleft()
+                else:
+                    for candidate in self.items:
+                        if filt(candidate):
+                            found = candidate
+                            self.items.remove(candidate)
+                            break
+                if found is not missing:
+                    event.succeed(found)
+                    progress = True
+                else:
+                    pending.append((event, filt))
+            self._getters = pending

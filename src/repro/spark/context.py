@@ -1,0 +1,258 @@
+"""SparkContext: driver-side entry point and DAG scheduler.
+
+The scheduler cuts the lineage graph at shuffle boundaries: every
+:class:`~repro.spark.rdd.ShuffledRDD` dependency becomes a *shuffle map
+stage* whose tasks bucket their output by key-hash onto their node's
+local disk; the dependent stage fetches those buckets over the
+interconnect.  Tasks occupy executor cores (slots) and pay a
+configurable CPU cost per record, scaled by node speed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.sim.engine import Environment, SimulationError
+from repro.spark.master import ExecutorInfo, SparkMaster
+from repro.spark.rdd import RDD, ParallelCollectionRDD, ShuffledRDD
+
+
+@dataclass
+class SparkConf:
+    """Driver/application configuration (spark-defaults.conf subset)."""
+
+    app_name: str = "app"
+    num_executors: int = 2
+    executor_cores: int = 2
+    executor_memory: float = 4 * 1024 ** 3
+    default_parallelism: int = 4
+    #: reference-CPU seconds of work per record processed by a task.
+    cpu_seconds_per_record: float = 0.0
+    #: serialized size of one record/pair on the shuffle wire.
+    bytes_per_record: float = 64.0
+
+
+class TaskContext:
+    """What a running task knows: which executor/node it is on."""
+
+    def __init__(self, executor: ExecutorInfo):
+        self.executor = executor
+        self.node = executor.node
+
+
+class Broadcast:
+    """A read-only value shipped to all executors (``bc.value``)."""
+
+    def __init__(self, value, nbytes: float):
+        self.value = value
+        self.nbytes = nbytes
+
+
+class Accumulator:
+    """Task-incremented counter, read at the driver (``acc.value``)."""
+
+    def __init__(self, initial=0):
+        self.value = initial
+
+    def add(self, amount) -> None:
+        self.value = self.value + amount
+
+
+class SparkContext:
+    """Driver: owns executors, the shuffle manager and the RDD cache."""
+
+    def __init__(self, env: Environment, master: SparkMaster,
+                 conf: Optional[SparkConf] = None, network=None):
+        self.env = env
+        self.master = master
+        self.conf = conf or SparkConf()
+        self.network = network
+        self.app_id = f"spark-{id(self) & 0xFFFF:04x}"
+        self.executors: List[ExecutorInfo] = []
+        #: (shuffle_id) -> list of (node_name, {bucket: [(k, v)]})
+        self._shuffle_outputs: Dict[int, List[Tuple[str, Dict[int, list]]]] = {}
+        self._cache: Dict[Tuple[int, int], list] = {}
+        self._stopped = False
+        self._executor_rr = itertools.count()
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self):
+        """Acquire executors from the master.  Generator."""
+        granted = yield from self.master.request_executors(
+            self.app_id, self.conf.num_executors,
+            self.conf.executor_cores, self.conf.executor_memory)
+        if not granted:
+            raise SimulationError("no executors granted")
+        self.executors = granted
+        return self
+
+    def stop(self) -> None:
+        """Release executors; the context becomes unusable."""
+        self.master.release_executors(self.app_id)
+        self.executors = []
+        self._stopped = True
+
+    # ------------------------------------------------------------ creation
+    def parallelize(self, data, num_slices: Optional[int] = None) -> RDD:
+        """Distribute a local collection."""
+        n = num_slices or self.conf.default_parallelism
+        if n < 1:
+            raise ValueError("num_slices must be >= 1")
+        return ParallelCollectionRDD(self, list(data), n)
+
+    def text_file(self, hdfs, path: str) -> RDD:
+        """An RDD over an HDFS file, one partition per block (reads are
+        node-local where the executor holds a replica)."""
+        from repro.spark.rdd import HdfsRDD
+        return HdfsRDD(self, hdfs, path)
+
+    def broadcast(self, value, nbytes: float = 1024.0):
+        """Ship a read-only value to every executor node.  Generator.
+
+        Pays one fabric transfer per distinct executor node (torrent-
+        style distribution is not modeled); returns a
+        :class:`Broadcast` handle whose ``.value`` tasks read locally.
+        """
+        nodes = {e.node.name for e in self.executors}
+        if self.network is not None and len(nodes) > 1:
+            source = next(iter(sorted(nodes)))
+            sends = [self.network.send(source, target, nbytes)
+                     for target in sorted(nodes) if target != source]
+            for send in sends:
+                yield send
+        return Broadcast(value, nbytes)
+
+    def accumulator(self, initial=0):
+        """A write-only-from-tasks counter, readable at the driver."""
+        return Accumulator(initial)
+
+    # ------------------------------------------------------------ execution
+    def run_job(self, rdd: RDD):
+        """Run all stages needed for ``rdd``; generator returning the
+        list of partition results."""
+        if self._stopped or not self.executors:
+            raise SimulationError("SparkContext is not started")
+        yield from self._ensure_shuffle_deps(rdd)
+        results = yield from self._run_stage(rdd)
+        return results
+
+    def _ensure_shuffle_deps(self, rdd: RDD):
+        if isinstance(rdd, ShuffledRDD):
+            # The stage *producing* this RDD is its own map stage.
+            if rdd.shuffle_id not in self._shuffle_outputs:
+                yield from self._ensure_shuffle_deps(rdd.parent)
+                yield from self._run_shuffle_map_stage(rdd)
+            return
+        for dep in rdd.shuffle_dependencies():
+            if dep.shuffle_id in self._shuffle_outputs:
+                continue
+            # Parent stages of the map stage first (recursion bottoms
+            # out at ParallelCollection leaves).
+            yield from self._ensure_shuffle_deps(dep.parent)
+            yield from self._run_shuffle_map_stage(dep)
+
+    def _pick_executor(self) -> ExecutorInfo:
+        return self.executors[next(self._executor_rr) % len(self.executors)]
+
+    def _task(self, body, executor: ExecutorInfo):
+        """Wrap a task body with slot acquisition and CPU accounting."""
+
+        def runner():
+            with executor.slots.request() as slot:
+                yield slot
+                records = yield from body(TaskContext(executor))
+                cpu = len(records) * self.conf.cpu_seconds_per_record
+                if cpu > 0:
+                    yield self.env.timeout(
+                        executor.node.compute_seconds(
+                            cpu / max(1, executor.cores)))
+                return records
+
+        return self.env.process(runner())
+
+    def _run_stage(self, rdd: RDD):
+        """Result stage: one task per partition of ``rdd``."""
+        tasks = []
+        for index in range(rdd.num_partitions):
+            executor = self._pick_executor()
+
+            def body(task_ctx, _i=index):
+                records = yield from self.materialize(rdd, _i, task_ctx)
+                return records
+
+            tasks.append(self._task(body, executor))
+        yield self.env.all_of(tasks)
+        return [t.value for t in tasks]
+
+    def _run_shuffle_map_stage(self, dep: ShuffledRDD):
+        """Map side of a shuffle: bucket parent partitions by key-hash."""
+        parent = dep.parent
+        outputs: List[Tuple[str, Dict[int, list]]] = [None] * parent.num_partitions  # type: ignore[list-item]
+        tasks = []
+        for index in range(parent.num_partitions):
+            executor = self._pick_executor()
+
+            def body(task_ctx, _i=index):
+                records = yield from self.materialize(parent, _i, task_ctx)
+                buckets: Dict[int, list] = {}
+                for record in records:
+                    if not (isinstance(record, tuple) and len(record) == 2):
+                        raise TypeError(
+                            f"shuffle needs (key, value) pairs, got "
+                            f"{record!r}")
+                    k, v = record
+                    buckets.setdefault(
+                        hash(k) % dep.num_partitions, []).append((k, v))
+                nbytes = len(records) * self.conf.bytes_per_record
+                if nbytes > 0:
+                    yield task_ctx.node.local_disk.write(nbytes)
+                outputs[_i] = (task_ctx.node.name, buckets)
+                return records
+
+            tasks.append(self._task(body, executor))
+        yield self.env.all_of(tasks)
+        self._shuffle_outputs[dep.shuffle_id] = outputs
+
+    # --------------------------------------------------------- data access
+    def materialize(self, rdd: RDD, index: int, task_ctx):
+        """Compute (or serve from cache) one partition.  Generator."""
+        key = (rdd.rdd_id, index)
+        if rdd._cached and key in self._cache:
+            return self._cache[key]
+        records = yield from rdd.compute_partition(index, task_ctx)
+        if rdd._cached:
+            self._cache[key] = records
+        return records
+
+    def shuffle_fetch(self, dep: ShuffledRDD, reduce_index: int, task_ctx):
+        """Fetch one reduce bucket from every map output.  Generator."""
+        outputs = self._shuffle_outputs.get(dep.shuffle_id)
+        if outputs is None:
+            raise SimulationError(
+                f"shuffle {dep.shuffle_id} has no map outputs (stage "
+                "ordering bug)")
+        machine_network = None
+        pairs: list = []
+        for node_name, buckets in outputs:
+            chunk = buckets.get(reduce_index, [])
+            nbytes = len(chunk) * self.conf.bytes_per_record
+            if nbytes > 0:
+                # read from the map node's disk, then cross the wire
+                source = self._node_by_name(node_name)
+                yield source.local_disk.read(nbytes)
+                if self.network is not None:
+                    yield self.network.send(node_name, task_ctx.node.name,
+                                            nbytes)
+            pairs.extend(chunk)
+        return pairs
+
+    def _node_by_name(self, name: str):
+        for executor in self.executors:
+            if executor.node.name == name:
+                return executor.node
+        for worker in self.master.workers:
+            if worker.node.name == name:
+                return worker.node
+        raise KeyError(f"unknown node {name}")

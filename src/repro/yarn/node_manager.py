@@ -1,0 +1,165 @@
+"""NodeManager: per-node container execution and capacity accounting."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.cluster.node import Node
+from repro.sim.engine import Environment, Event, Interrupt, SimulationError
+from repro.yarn.config import YarnConfig
+from repro.yarn.records import (
+    ZERO_RESOURCE,
+    Container,
+    ContainerState,
+    YarnResource,
+)
+
+
+class NodeManager:
+    """Runs containers on one node, within an advertised capacity.
+
+    The NM's heartbeat loop lives in the ResourceManager (which owns
+    the scheduling reaction); here we keep capacity arithmetic, the
+    container launch path (with JVM spin-up cost) and kill/preempt.
+    """
+
+    def __init__(self, env: Environment, node: Node, config: YarnConfig):
+        self.env = env
+        self.node = node
+        self.config = config
+        self.capacity = YarnResource(
+            memory_mb=config.nm_memory_mb(node.memory_bytes),
+            vcores=config.nm_vcores(node.num_cores))
+        self.used = ZERO_RESOURCE
+        self.containers: Dict[str, Container] = {}
+        self._procs: Dict[str, object] = {}
+        self.running = False
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def alive(self) -> bool:
+        return self.running and self.node.alive
+
+    @property
+    def available(self) -> YarnResource:
+        return self.capacity.minus(self.used)
+
+    def start(self):
+        """Daemon startup.  Generator."""
+        yield self.env.timeout(self.config.nm_startup_seconds)
+        self.running = True
+
+    def stop(self) -> None:
+        for container in list(self.containers.values()):
+            if not container.state.is_final:
+                self.kill_container(container.container_id,
+                                    ContainerState.KILLED, "NM shutdown")
+        self.running = False
+
+    # ----------------------------------------------------------- capacity
+    def can_fit(self, resource: YarnResource) -> bool:
+        return self.alive and resource.fits_in(self.available)
+
+    def reserve(self, container: Container) -> None:
+        """Book capacity for an allocated container."""
+        if not container.resource.fits_in(self.available):
+            raise SimulationError(
+                f"NM {self.name} over-allocation: {container.resource} "
+                f"does not fit in {self.available}")
+        self.used = self.used.plus(container.resource)
+        self.containers[container.container_id] = container
+
+    def _release(self, container: Container) -> None:
+        if container.container_id in self.containers:
+            self.used = self.used.minus(container.resource)
+            del self.containers[container.container_id]
+
+    # ------------------------------------------------------------- launch
+    def start_container(self, container: Container,
+                        payload: Callable[..., object],
+                        on_complete: Optional[Callable[[Container], None]]
+                        = None) -> Event:
+        """Launch a payload inside an allocated container.
+
+        Pays the localization + JVM spin-up cost, then runs
+        ``payload(env, container)`` as a process.  Returns an event that
+        fires when the container reaches a final state (its value is the
+        container).
+        """
+        if container.container_id not in self.containers:
+            raise SimulationError(
+                f"container {container.container_id} not allocated on "
+                f"{self.name}")
+        if container.state is not ContainerState.ALLOCATED:
+            raise SimulationError(
+                f"container {container.container_id} is "
+                f"{container.state.value}, cannot launch")
+        done = Event(self.env)
+
+        def _runner():
+            try:
+                yield self.env.timeout(self.config.container_launch_seconds)
+            except Interrupt:
+                # Killed/released during localization: state was already
+                # finalized by kill_container.
+                done.succeed(container)
+                return
+            if container.state.is_final:   # killed during launch
+                done.succeed(container)
+                return
+            container.state = ContainerState.RUNNING
+            try:
+                result = yield self.env.process(
+                    payload(self.env, container),
+                    name=f"container-{container.container_id}")
+            except Interrupt as intr:
+                if not container.state.is_final:
+                    container.state = ContainerState.KILLED
+                    container.diagnostics = str(intr.cause)
+            except Exception as exc:
+                container.state = ContainerState.FAILED
+                container.exit_code = 1
+                container.diagnostics = repr(exc)
+            else:
+                container.state = ContainerState.COMPLETED
+                container.exit_code = 0
+                container.diagnostics = ""
+                container.result = result
+            self._release(container)
+            if on_complete is not None:
+                on_complete(container)
+            done.succeed(container)
+
+        proc = self.env.process(_runner(),
+                                name=f"launch-{container.container_id}")
+        self._procs[container.container_id] = proc
+        return done
+
+    def kill_container(self, container_id: str,
+                       final_state: ContainerState = ContainerState.KILLED,
+                       diagnostics: str = "") -> None:
+        """Kill (or preempt) a container immediately."""
+        container = self.containers.get(container_id)
+        if container is None or container.state.is_final:
+            return
+        container.state = final_state
+        container.diagnostics = diagnostics
+        proc = self._procs.get(container_id)
+        if proc is not None and proc.is_alive:
+            proc.interrupt(cause=diagnostics or final_state.value)
+        self._release(container)
+
+    def fail(self) -> None:
+        """Crash the NM: all containers die with it."""
+        for container in list(self.containers.values()):
+            self.kill_container(container.container_id,
+                                ContainerState.KILLED, "NM lost")
+        self.running = False
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<NodeManager {self.name} used={self.used.memory_mb}MB/"
+                f"{self.used.vcores}vc of {self.capacity.memory_mb}MB/"
+                f"{self.capacity.vcores}vc>")

@@ -1,0 +1,450 @@
+"""ResourceManager: application lifecycle + heartbeat-driven scheduling.
+
+Scheduling is *pull-based*, as in real YARN: every NodeManager
+heartbeat is a scheduling opportunity for that node.  The pluggable
+policy (:class:`FifoPolicy` or :class:`CapacityPolicy`) decides which
+application's pending request, if any, gets a container there.  AM
+containers are ordinary requests tagged at highest priority.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.sim.engine import Environment, Event
+from repro.yarn.config import YarnConfig
+from repro.yarn.node_manager import NodeManager
+from repro.yarn.records import (
+    ZERO_RESOURCE,
+    ApplicationReport,
+    ApplicationState,
+    AppSpec,
+    Container,
+    ContainerRequest,
+    ContainerState,
+    YarnResource,
+)
+
+
+class AppRecord:
+    """RM-side bookkeeping for one application."""
+
+    def __init__(self, env: Environment, app_id: str, spec: AppSpec):
+        self.env = env
+        self.app_id = app_id
+        self.spec = spec
+        self.state = ApplicationState.NEW
+        self.queue = spec.queue
+        self.am_container: Optional[Container] = None
+        self.pending: Deque[ContainerRequest] = deque()
+        self.granted: List[Container] = []          # awaiting AM pickup
+        self.completed: List[Container] = []        # awaiting AM pickup
+        self.live_containers: Dict[str, Container] = {}
+        self.usage = ZERO_RESOURCE
+        self.start_time: Optional[float] = None
+        self.finish_time: Optional[float] = None
+        self.final_status: Optional[str] = None
+        self.diagnostics = ""
+        self.finished = env.event()
+
+    def advance(self, state: ApplicationState) -> None:
+        self.state = state
+        if state is ApplicationState.RUNNING and self.start_time is None:
+            self.start_time = self.env.now
+        if state.is_final:
+            self.finish_time = self.env.now
+            if not self.finished.triggered:
+                self.finished.succeed(self)
+
+
+class SchedulingPolicy:
+    """Decides whether an app may receive a container on a node."""
+
+    def attach(self, rm: "ResourceManager") -> None:
+        self.rm = rm
+
+    def app_order(self, apps: List[AppRecord]) -> List[AppRecord]:
+        raise NotImplementedError
+
+    def may_allocate(self, app: AppRecord,
+                     resource: YarnResource) -> bool:
+        raise NotImplementedError
+
+
+class FifoPolicy(SchedulingPolicy):
+    """YARN's FIFO scheduler: strict submission order, no queue caps."""
+
+    def app_order(self, apps: List[AppRecord]) -> List[AppRecord]:
+        return sorted(apps, key=lambda a: a.app_id)
+
+    def may_allocate(self, app: AppRecord, resource: YarnResource) -> bool:
+        return True
+
+
+class FairPolicy(SchedulingPolicy):
+    """Fair scheduler: scheduling opportunities go to the application
+    furthest below its (weighted) fair share of cluster memory.
+
+    Matches YARN's FairScheduler in spirit: ordering by
+    ``usage / weight``, no hard caps — starved apps catch up first.
+    """
+
+    def __init__(self, weights: Optional[Dict[str, float]] = None):
+        self.weights = dict(weights or {})
+        for queue, weight in self.weights.items():
+            if weight <= 0:
+                raise ValueError(f"weight for {queue!r} must be positive")
+
+    def _weight(self, app: AppRecord) -> float:
+        return self.weights.get(app.queue, 1.0)
+
+    def app_order(self, apps: List[AppRecord]) -> List[AppRecord]:
+        return sorted(apps, key=lambda a: (
+            a.usage.memory_mb / self._weight(a), a.app_id))
+
+    def may_allocate(self, app: AppRecord, resource: YarnResource) -> bool:
+        return True
+
+
+class CapacityPolicy(SchedulingPolicy):
+    """Capacity scheduler: per-queue shares of cluster memory.
+
+    ``queues`` maps queue name to capacity fraction; a queue may grow
+    to ``max_capacity`` times its share (elasticity).  Apps in the same
+    queue are FIFO.
+    """
+
+    def __init__(self, queues: Optional[Dict[str, float]] = None,
+                 max_capacity: float = 1.0):
+        self.queues = dict(queues or {"default": 1.0})
+        self.max_capacity = max_capacity
+        total = sum(self.queues.values())
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"queue capacities must sum to 1, got {total}")
+
+    def app_order(self, apps: List[AppRecord]) -> List[AppRecord]:
+        # Round-robin across queues, FIFO within a queue: order by
+        # (rank within queue, app id) so the least-served queues go first.
+        by_queue: Dict[str, List[AppRecord]] = {}
+        for app in sorted(apps, key=lambda a: a.app_id):
+            by_queue.setdefault(app.queue, []).append(app)
+        ordered: List[AppRecord] = []
+        rank = 0
+        while any(by_queue.values()):
+            for queue in sorted(by_queue):
+                if by_queue[queue]:
+                    ordered.append(by_queue[queue].pop(0))
+            rank += 1
+        return ordered
+
+    def may_allocate(self, app: AppRecord, resource: YarnResource) -> bool:
+        share = self.queues.get(app.queue)
+        if share is None:
+            return False  # unknown queue: rejected at submit, belt+braces
+        total_mb = self.rm.total_capacity().memory_mb
+        queue_used = sum(
+            a.usage.memory_mb for a in self.rm.apps.values()
+            if a.queue == app.queue and not a.state.is_final)
+        limit = total_mb * min(1.0, share * self.max_capacity)
+        return queue_used + resource.memory_mb <= limit + 1e-9
+
+
+class ResourceManager:
+    """The YARN master."""
+
+    def __init__(self, env: Environment, config: Optional[YarnConfig] = None,
+                 policy: Optional[SchedulingPolicy] = None):
+        self.env = env
+        self.config = config or YarnConfig()
+        self.policy = policy or FifoPolicy()
+        self.policy.attach(self)
+        self.node_managers: Dict[str, NodeManager] = {}
+        self.apps: Dict[str, AppRecord] = {}
+        self._app_counter = itertools.count(1)
+        self._container_counter = itertools.count(1)
+        self.running = False
+        self._heartbeat_procs: List[object] = []
+        self.metrics_counters = {"appsSubmitted": 0, "appsCompleted": 0,
+                                 "appsFailed": 0, "appsKilled": 0,
+                                 "containersAllocated": 0}
+
+    # ----------------------------------------------------------- lifecycle
+    def start(self):
+        """RM daemon startup.  Generator."""
+        yield self.env.timeout(self.config.rm_startup_seconds)
+        self.running = True
+        for nm in self.node_managers.values():
+            self._start_heartbeat(nm)
+
+    def stop(self) -> None:
+        self.running = False
+        for app in self.apps.values():
+            if not app.state.is_final:
+                self._finish_app(app, ApplicationState.KILLED, "RM shutdown")
+
+    def register_node_manager(self, nm: NodeManager) -> None:
+        self.node_managers[nm.name] = nm
+        if self.running:
+            self._start_heartbeat(nm)
+
+    def _start_heartbeat(self, nm: NodeManager) -> None:
+        self._heartbeat_procs.append(self.env.process(
+            self._heartbeat_loop(nm), name=f"hb-{nm.name}"))
+
+    def _heartbeat_loop(self, nm: NodeManager):
+        while self.running:
+            yield self.env.timeout(self.config.nm_heartbeat)
+            if nm.alive:
+                self._schedule_on(nm)
+
+    # ---------------------------------------------------------- submission
+    def submit_application(self, spec: AppSpec) -> AppRecord:
+        """Accept an application; AM container allocation is queued."""
+        if isinstance(self.policy, CapacityPolicy) and \
+                spec.queue not in self.policy.queues:
+            raise ValueError(f"unknown queue {spec.queue!r}")
+        app_id = f"application_{next(self._app_counter):04d}"
+        app = AppRecord(self.env, app_id, spec)
+        self.apps[app_id] = app
+        self.metrics_counters["appsSubmitted"] += 1
+        self.env.process(self._accept(app), name=f"accept-{app_id}")
+        return app
+
+    def _accept(self, app: AppRecord):
+        app.advance(ApplicationState.SUBMITTED)
+        yield self.env.timeout(self.config.rm_submit_latency)
+        if app.state.is_final:
+            return
+        app.advance(ApplicationState.ACCEPTED)
+        # The AM container is a pending request served by the scheduler.
+        app.pending.appendleft(ContainerRequest(
+            resource=self._normalize(app.spec.am_resource)))
+        app._am_pending = True
+
+    def kill_application(self, app_id: str, diagnostics: str = "killed") -> None:
+        app = self.apps[app_id]
+        if app.state.is_final:
+            return
+        for cid in list(app.live_containers):
+            container = app.live_containers[cid]
+            nm = self.node_managers.get(container.node_name)
+            if nm is not None:
+                nm.kill_container(cid, ContainerState.KILLED, diagnostics)
+        self._finish_app(app, ApplicationState.KILLED, diagnostics)
+        self.metrics_counters["appsKilled"] += 1
+
+    def _finish_app(self, app: AppRecord, state: ApplicationState,
+                    diagnostics: str = "") -> None:
+        app.diagnostics = diagnostics
+        app.advance(state)
+
+    # ---------------------------------------------------------- scheduling
+    def _normalize(self, resource: YarnResource) -> YarnResource:
+        """Round memory up to the scheduler increment, clamp to max."""
+        increment = self.config.min_allocation_mb
+        mem = max(increment,
+                  ((resource.memory_mb + increment - 1) // increment)
+                  * increment)
+        mem = min(mem, self.config.max_allocation_mb)
+        return YarnResource(memory_mb=mem, vcores=max(1, resource.vcores))
+
+    def _schedule_on(self, nm: NodeManager) -> None:
+        """One scheduling opportunity for node ``nm``.
+
+        At most ``max_assignments_per_heartbeat`` containers are placed
+        per opportunity, so load spreads over nodes (and heartbeats)
+        rather than piling onto whichever NM reports first.
+        """
+        budget = self.config.max_assignments_per_heartbeat
+        active = [a for a in self.apps.values() if not a.state.is_final
+                  and a.pending]
+        for app in self.policy.app_order(active):
+            while app.pending and budget > 0:
+                request = app.pending[0]
+                if not request.resource.fits_in(nm.available):
+                    break
+                if not self.policy.may_allocate(app, request.resource):
+                    break
+                if (request.preferred_nodes
+                        and nm.name not in request.preferred_nodes):
+                    # Delay scheduling: skip until locality relaxes.
+                    if (not request.relax_locality
+                            or request.missed_opportunities
+                            < self.config.locality_delay_heartbeats):
+                        request.missed_opportunities += 1
+                        break
+                app.pending.popleft()
+                self._allocate(app, request, nm)
+                budget -= 1
+            # Keep offering this node to later apps while space remains.
+            if budget <= 0 or \
+                    nm.available.memory_mb < self.config.min_allocation_mb:
+                break
+
+    def _allocate(self, app: AppRecord, request: ContainerRequest,
+                  nm: NodeManager) -> None:
+        container = Container(
+            container_id=f"container_{next(self._container_counter):06d}",
+            app_id=app.app_id, node_name=nm.name,
+            resource=request.resource)
+        nm.reserve(container)
+        app.usage = app.usage.plus(container.resource)
+        app.live_containers[container.container_id] = container
+        self.metrics_counters["containersAllocated"] += 1
+        if getattr(app, "_am_pending", False) and app.am_container is None:
+            app.am_container = container
+            self._launch_am(app, container)
+        else:
+            app.granted.append(container)
+
+    def _launch_am(self, app: AppRecord, container: Container) -> None:
+        from repro.yarn.application import AmContext  # cycle-free import
+        nm = self.node_managers[container.node_name]
+        ctx = AmContext(self, app, container)
+
+        def am_payload(env, c):
+            yield env.timeout(self.config.am_register_seconds)
+            app.advance(ApplicationState.RUNNING)
+            result = yield env.process(app.spec.am_program(ctx),
+                                       name=f"am-main-{app.app_id}")
+            return result
+
+        done = nm.start_container(container, am_payload,
+                                  on_complete=self._on_container_complete)
+
+        def _am_done(event):
+            am_container = event.value
+            if app.state.is_final:
+                return
+            if am_container.state is ContainerState.COMPLETED:
+                status = app.final_status or "SUCCEEDED"
+                if status == "SUCCEEDED":
+                    self._finish_app(app, ApplicationState.FINISHED)
+                    self.metrics_counters["appsCompleted"] += 1
+                else:
+                    self._finish_app(app, ApplicationState.FAILED,
+                                     app.diagnostics or "AM reported failure")
+                    self.metrics_counters["appsFailed"] += 1
+            else:
+                self._finish_app(app, ApplicationState.FAILED,
+                                 am_container.diagnostics or "AM died")
+                self.metrics_counters["appsFailed"] += 1
+            # Reclaim any containers the AM left behind.
+            for cid in list(app.live_containers):
+                c = app.live_containers[cid]
+                nm2 = self.node_managers.get(c.node_name)
+                if nm2 is not None:
+                    nm2.kill_container(cid, ContainerState.KILLED,
+                                       "app finished")
+
+        done.callbacks.append(_am_done)
+
+    def _on_container_complete(self, container: Container) -> None:
+        app = self.apps.get(container.app_id)
+        if app is None:
+            return
+        if container.container_id in app.live_containers:
+            del app.live_containers[container.container_id]
+            app.usage = app.usage.minus(container.resource)
+        if container is not app.am_container:
+            app.completed.append(container)
+
+    # ---------------------------------------------------------- preemption
+    def preempt_containers(self, app_id: str, count: int) -> List[str]:
+        """Preempt up to ``count`` newest task containers of an app."""
+        app = self.apps[app_id]
+        victims = [c for c in app.live_containers.values()
+                   if c is not app.am_container]
+        victims.sort(key=lambda c: c.container_id, reverse=True)
+        preempted = []
+        for container in victims[:count]:
+            nm = self.node_managers.get(container.node_name)
+            if nm is not None:
+                nm.kill_container(container.container_id,
+                                  ContainerState.PREEMPTED,
+                                  "preempted by scheduler")
+                preempted.append(container.container_id)
+        return preempted
+
+    # ------------------------------------------------------------- metrics
+    def total_capacity(self) -> YarnResource:
+        total = ZERO_RESOURCE
+        for nm in self.node_managers.values():
+            if nm.alive:
+                total = total.plus(nm.capacity)
+        return total
+
+    def used_capacity(self) -> YarnResource:
+        used = ZERO_RESOURCE
+        for nm in self.node_managers.values():
+            if nm.alive:
+                used = used.plus(nm.used)
+        return used
+
+    def cluster_metrics(self) -> Dict[str, float]:
+        """RM REST ``/ws/v1/cluster/metrics``-shaped snapshot.
+
+        This is what the RADICAL-Pilot YARN agent scheduler polls to
+        size its resource slots (paper §III-C).
+        """
+        total = self.total_capacity()
+        used = self.used_capacity()
+        states = [a.state for a in self.apps.values()]
+        return {
+            "appsSubmitted": self.metrics_counters["appsSubmitted"],
+            "appsCompleted": self.metrics_counters["appsCompleted"],
+            "appsFailed": self.metrics_counters["appsFailed"],
+            "appsKilled": self.metrics_counters["appsKilled"],
+            "appsRunning": sum(1 for s in states
+                               if s is ApplicationState.RUNNING),
+            "appsPending": sum(1 for s in states if s in (
+                ApplicationState.SUBMITTED, ApplicationState.ACCEPTED)),
+            "containersAllocated": self.metrics_counters[
+                "containersAllocated"],
+            "totalMB": total.memory_mb,
+            "allocatedMB": used.memory_mb,
+            "availableMB": total.memory_mb - used.memory_mb,
+            "totalVirtualCores": total.vcores,
+            "allocatedVirtualCores": used.vcores,
+            "availableVirtualCores": total.vcores - used.vcores,
+            "activeNodes": sum(1 for nm in self.node_managers.values()
+                               if nm.alive),
+            "totalNodes": len(self.node_managers),
+        }
+
+    def application_list(self) -> List[Dict[str, object]]:
+        """RM REST ``/ws/v1/cluster/apps``-shaped listing."""
+        return [{
+            "id": app.app_id,
+            "name": app.spec.name,
+            "queue": app.queue,
+            "state": app.state.value,
+            "applicationType": app.spec.app_type,
+            "allocatedMB": app.usage.memory_mb,
+            "allocatedVCores": app.usage.vcores,
+            "runningContainers": len(app.live_containers),
+            "startedTime": app.start_time,
+            "finishedTime": app.finish_time,
+        } for app in self.apps.values()]
+
+    def node_reports(self) -> List[Dict[str, object]]:
+        """RM REST ``/ws/v1/cluster/nodes``-shaped listing."""
+        return [{
+            "id": nm.name,
+            "state": "RUNNING" if nm.alive else "LOST",
+            "availMemoryMB": nm.available.memory_mb,
+            "usedMemoryMB": nm.used.memory_mb,
+            "availableVirtualCores": nm.available.vcores,
+            "usedVirtualCores": nm.used.vcores,
+            "numContainers": len(nm.containers),
+        } for nm in self.node_managers.values()]
+
+    def application_report(self, app_id: str) -> ApplicationReport:
+        app = self.apps[app_id]
+        return ApplicationReport(
+            app_id=app.app_id, name=app.spec.name, state=app.state,
+            queue=app.queue, tracking_diagnostics=app.diagnostics,
+            start_time=app.start_time, finish_time=app.finish_time,
+            final_status=app.final_status)

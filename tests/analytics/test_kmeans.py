@@ -1,0 +1,87 @@
+"""Tests for K-Means: reference correctness + cross-engine agreement."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import generate_points, kmeans_reference
+from repro.analytics.kmeans import _assign, _partial_sums, _update
+
+
+def test_generate_points_shape_and_determinism():
+    a = generate_points(100, 5, dim=3, seed=1)
+    b = generate_points(100, 5, dim=3, seed=1)
+    c = generate_points(100, 5, dim=3, seed=2)
+    assert a.shape == (100, 3)
+    assert np.array_equal(a, b)
+    assert not np.array_equal(a, c)
+
+
+def test_generate_points_validation():
+    with pytest.raises(ValueError):
+        generate_points(0, 5)
+    with pytest.raises(ValueError):
+        generate_points(10, 0)
+
+
+def test_assign_nearest_centroid():
+    points = np.array([[0.0, 0.0], [1.0, 1.0], [0.9, 1.1]])
+    centroids = np.array([[0.0, 0.0], [1.0, 1.0]])
+    labels = _assign(points, centroids)
+    assert labels.tolist() == [0, 1, 1]
+
+
+def test_partial_sums_against_manual():
+    points = np.array([[0.0, 0.0], [2.0, 2.0], [0.2, 0.0]])
+    centroids = np.array([[0.0, 0.0], [2.0, 2.0]])
+    sums, counts = _partial_sums(points, centroids)
+    assert counts.tolist() == [2.0, 1.0]
+    assert sums[0].tolist() == [0.2, 0.0]
+    assert sums[1].tolist() == [2.0, 2.0]
+
+
+def test_update_keeps_empty_clusters():
+    centroids = np.array([[0.0, 0.0], [5.0, 5.0]])
+    sums = np.array([[2.0, 2.0], [0.0, 0.0]])
+    counts = np.array([2.0, 0.0])
+    new = _update(centroids, sums, counts)
+    assert new[0].tolist() == [1.0, 1.0]
+    assert new[1].tolist() == [5.0, 5.0]  # untouched
+
+
+def test_reference_zero_iterations_returns_initial():
+    points = generate_points(50, 3, seed=0)
+    out = kmeans_reference(points, 3, iterations=0)
+    assert np.array_equal(out, points[:3])
+
+
+def test_reference_converges_on_separated_blobs():
+    rng = np.random.default_rng(0)
+    blob_a = rng.normal(0.0, 0.01, size=(50, 3))
+    blob_b = rng.normal(10.0, 0.01, size=(50, 3)) + 10.0
+    points = np.vstack([blob_a, blob_b])
+    initial = np.array([[0.5, 0.5, 0.5], [15.0, 15.0, 15.0]])
+    centroids = kmeans_reference(points, 2, iterations=5, initial=initial)
+    assert np.allclose(centroids[0], blob_a.mean(axis=0), atol=0.05)
+    assert np.allclose(centroids[1], blob_b.mean(axis=0), atol=0.05)
+
+
+def test_reference_matches_scipy():
+    scipy_vq = pytest.importorskip("scipy.cluster.vq")
+    points = generate_points(300, 4, seed=3)
+    initial = np.array(points[:4])
+    ours = kmeans_reference(points, 4, iterations=15, initial=initial)
+    theirs, _ = scipy_vq.kmeans(points, initial, iter=15, thresh=0.0)
+    # scipy stops on convergence; compare cluster means loosely
+    ours_sorted = ours[np.lexsort(ours.T)]
+    theirs_sorted = theirs[np.lexsort(theirs.T)]
+    assert np.allclose(ours_sorted, theirs_sorted, atol=1e-6)
+
+
+def test_reference_validation():
+    points = generate_points(10, 2)
+    with pytest.raises(ValueError):
+        kmeans_reference(points, 0)
+    with pytest.raises(ValueError):
+        kmeans_reference(points, 11)
+    with pytest.raises(ValueError):
+        kmeans_reference(points, 2, iterations=-1)

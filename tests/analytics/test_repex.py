@@ -1,0 +1,92 @@
+"""Tests for the replica-exchange workload (RepEx, paper ref [36])."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.repex import (
+    exchange_probability,
+    mc_run,
+    potential,
+    run_replica_exchange,
+)
+from repro.core import ComputePilotDescription, PilotState
+from tests.core.test_units import fast_agent
+
+
+def test_potential_double_well():
+    assert potential(1.0) == 0.0
+    assert potential(-1.0) == 0.0
+    assert potential(0.0) == 1.0  # the barrier
+
+
+def test_mc_run_deterministic_and_shaped():
+    a = mc_run(-1.0, 0.2, 100, rng_seed=1)
+    b = mc_run(-1.0, 0.2, 100, rng_seed=1)
+    assert np.array_equal(a[0], b[0])
+    assert len(a[0]) == 100
+    assert a[2] >= 0.0  # energies are non-negative for this potential
+
+
+def test_mc_run_temperature_validation():
+    with pytest.raises(ValueError):
+        mc_run(0.0, -1.0, 10, rng_seed=0)
+
+
+def test_cold_replica_stays_in_well():
+    samples, _, _ = mc_run(-1.0, 0.05, 2000, rng_seed=3)
+    # at T=0.05 the barrier (height 1) is insurmountable in 2k steps
+    assert samples.max() < 0.0
+
+
+def test_hot_replica_crosses_barrier():
+    samples, _, _ = mc_run(-1.0, 2.0, 2000, rng_seed=3)
+    assert samples.max() > 0.5 and samples.min() < -0.5
+
+
+def test_exchange_probability_properties():
+    # equal energies -> always accept
+    assert exchange_probability(0.1, 1.0, 0.5, 0.5) == 1.0
+    # hot replica holding the lower energy -> downhill swap, accept
+    assert exchange_probability(0.1, 1.0, 2.0, 0.1) == 1.0
+    # cold replica already lower -> uphill, probability < 1
+    p = exchange_probability(0.1, 1.0, 0.1, 2.0)
+    assert 0.0 < p < 1.0
+
+
+def test_replica_exchange_end_to_end(stack):
+    env, registry, session, pmgr, umgr = stack
+    pilot = pmgr.submit_pilot(ComputePilotDescription(
+        resource="slurm://stampede", nodes=1, runtime=600,
+        agent_config=fast_agent()))
+    umgr.add_pilots(pilot)
+    env.run(pilot.wait(PilotState.ACTIVE))
+    holder = {}
+
+    def driver():
+        holder["result"] = yield from run_replica_exchange(
+            umgr, temperatures=[0.05, 0.2, 0.8, 2.0],
+            rounds=4, steps_per_round=500,
+            cpu_seconds_per_step=0.001)
+
+    env.run(env.process(driver()))
+    result = holder["result"]
+    assert result.rounds == 4
+    assert result.exchange_attempts > 0
+    assert 0.0 <= result.acceptance_ratio <= 1.0
+    # every temperature accumulated all its samples
+    assert all(len(s) == 4 * 500 for s in result.samples_by_temperature)
+    # the hot end explores both wells; mean |x| near the minima
+    hot = result.samples_by_temperature[-1]
+    assert hot.max() > 0.5 and hot.min() < -0.5
+    # colder replicas have lower mean potential energy than the hottest
+    mean_energy = [np.mean([potential(x) for x in s])
+                   for s in result.samples_by_temperature]
+    assert mean_energy[0] < mean_energy[-1]
+
+
+def test_replica_exchange_validation(stack):
+    env, registry, session, pmgr, umgr = stack
+    with pytest.raises(ValueError, match="at least 2"):
+        next(run_replica_exchange(umgr, [1.0]))
+    with pytest.raises(ValueError, match="ascending"):
+        next(run_replica_exchange(umgr, [2.0, 1.0]))

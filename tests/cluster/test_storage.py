@@ -1,0 +1,188 @@
+"""Tests for the processor-sharing storage model."""
+
+import pytest
+
+from repro.cluster.storage import (
+    GB,
+    MB,
+    SharedBandwidthPipe,
+    StorageSpec,
+    StorageVolume,
+)
+from repro.sim import Environment, SimulationError
+
+
+def run_transfers(pipe, sizes, starts=None):
+    """Helper: run transfers, return dict index -> completion time."""
+    env = pipe.env
+    done = {}
+
+    def xfer(i, size, start):
+        if start:
+            yield env.timeout(start)
+        yield pipe.transfer(size)
+        done[i] = env.now
+
+    starts = starts or [0.0] * len(sizes)
+    procs = [env.process(xfer(i, s, st))
+             for i, (s, st) in enumerate(zip(sizes, starts))]
+    env.run(env.all_of(procs))
+    return done
+
+
+def test_single_stream_full_rate():
+    env = Environment()
+    pipe = SharedBandwidthPipe(env, aggregate_bw=100 * MB)
+    done = run_transfers(pipe, [100 * MB])
+    assert done[0] == pytest.approx(1.0, rel=1e-6)
+
+
+def test_per_stream_cap_limits_single_stream():
+    env = Environment()
+    pipe = SharedBandwidthPipe(env, aggregate_bw=1000 * MB, per_stream_bw=100 * MB)
+    done = run_transfers(pipe, [100 * MB])
+    assert done[0] == pytest.approx(1.0, rel=1e-6)
+
+
+def test_two_equal_streams_share_fairly():
+    env = Environment()
+    pipe = SharedBandwidthPipe(env, aggregate_bw=100 * MB)
+    done = run_transfers(pipe, [100 * MB, 100 * MB])
+    # Each gets 50 MB/s -> both finish at t=2.
+    assert done[0] == pytest.approx(2.0, rel=1e-6)
+    assert done[1] == pytest.approx(2.0, rel=1e-6)
+
+
+def test_short_stream_finishes_then_long_speeds_up():
+    env = Environment()
+    pipe = SharedBandwidthPipe(env, aggregate_bw=100 * MB)
+    done = run_transfers(pipe, [50 * MB, 150 * MB])
+    # Shared 50/50 until short stream done at t=1 (50MB at 50MB/s);
+    # long stream then has 100MB left at full 100MB/s -> t=2.
+    assert done[0] == pytest.approx(1.0, rel=1e-6)
+    assert done[1] == pytest.approx(2.0, rel=1e-6)
+
+
+def test_staggered_arrival_slows_first_stream():
+    env = Environment()
+    pipe = SharedBandwidthPipe(env, aggregate_bw=100 * MB)
+    done = run_transfers(pipe, [100 * MB, 100 * MB], starts=[0.0, 0.5])
+    # t in [0,0.5): A alone at 100 -> 50MB done. Then A,B share 50/50.
+    # A has 50MB left -> done at t=1.5. B then alone: at t=1.5 B has
+    # 100-50=50MB left -> done at 2.0.
+    assert done[0] == pytest.approx(1.5, rel=1e-6)
+    assert done[1] == pytest.approx(2.0, rel=1e-6)
+
+
+def test_contention_with_per_stream_cap_unaffected_when_underloaded():
+    env = Environment()
+    # Aggregate can serve 10 streams at cap; 2 streams see no contention.
+    pipe = SharedBandwidthPipe(env, aggregate_bw=1000 * MB, per_stream_bw=100 * MB)
+    done = run_transfers(pipe, [100 * MB, 100 * MB])
+    assert done[0] == pytest.approx(1.0, rel=1e-6)
+    assert done[1] == pytest.approx(1.0, rel=1e-6)
+
+
+def test_many_streams_saturate_aggregate():
+    env = Environment()
+    pipe = SharedBandwidthPipe(env, aggregate_bw=100 * MB, per_stream_bw=100 * MB)
+    n = 10
+    done = run_transfers(pipe, [10 * MB] * n)
+    # 100 MB total through a 100 MB/s pipe -> all finish at t=1.
+    for i in range(n):
+        assert done[i] == pytest.approx(1.0, rel=1e-6)
+
+
+def test_zero_byte_transfer_costs_latency_only():
+    env = Environment()
+    pipe = SharedBandwidthPipe(env, aggregate_bw=100 * MB, latency=0.25)
+    done = run_transfers(pipe, [0])
+    assert done[0] == pytest.approx(0.25, rel=1e-6)
+
+
+def test_latency_added_to_transfer():
+    env = Environment()
+    pipe = SharedBandwidthPipe(env, aggregate_bw=100 * MB, latency=0.5)
+    done = run_transfers(pipe, [100 * MB])
+    assert done[0] == pytest.approx(1.5, rel=1e-3)
+
+
+def test_negative_size_rejected():
+    env = Environment()
+    pipe = SharedBandwidthPipe(env, aggregate_bw=1.0)
+    with pytest.raises(SimulationError):
+        pipe.transfer(-1)
+
+
+def test_invalid_bandwidth_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        SharedBandwidthPipe(env, aggregate_bw=0)
+    with pytest.raises(SimulationError):
+        SharedBandwidthPipe(env, aggregate_bw=1, per_stream_bw=0)
+
+
+def test_estimate_duration_matches_event_path():
+    env = Environment()
+    pipe = SharedBandwidthPipe(env, aggregate_bw=100 * MB,
+                               per_stream_bw=60 * MB, latency=0.1)
+    est = pipe.estimate_duration(60 * MB, streams=1)
+    done = run_transfers(pipe, [60 * MB])
+    assert done[0] == pytest.approx(est, rel=1e-3)
+
+
+def test_bytes_moved_accounting():
+    env = Environment()
+    pipe = SharedBandwidthPipe(env, aggregate_bw=100 * MB)
+    run_transfers(pipe, [10 * MB, 20 * MB])
+    assert pipe.bytes_moved == 30 * MB
+
+
+# --------------------------------------------------------------- volumes
+def _volume(env, capacity=1 * GB):
+    return StorageVolume(env, StorageSpec(
+        name="vol", aggregate_bw=100 * MB, capacity=capacity))
+
+
+def test_volume_write_debits_capacity():
+    env = Environment()
+    vol = _volume(env)
+
+    def writer():
+        yield vol.write(100 * MB)
+
+    env.run(env.process(writer()))
+    assert vol.used == 100 * MB
+    assert vol.free == 1 * GB - 100 * MB
+
+
+def test_volume_write_overflow_raises():
+    env = Environment()
+    vol = _volume(env, capacity=50 * MB)
+    with pytest.raises(SimulationError, match="full"):
+        vol.write(100 * MB)
+
+
+def test_volume_delete_restores_capacity():
+    env = Environment()
+    vol = _volume(env)
+
+    def writer():
+        yield vol.write(100 * MB)
+
+    env.run(env.process(writer()))
+    vol.delete(100 * MB)
+    assert vol.used == 0
+
+
+def test_volume_read_write_counters():
+    env = Environment()
+    vol = _volume(env)
+
+    def io():
+        yield vol.write(30 * MB)
+        yield vol.read(10 * MB)
+
+    env.run(env.process(io()))
+    assert vol.write_bytes == 30 * MB
+    assert vol.read_bytes == 10 * MB

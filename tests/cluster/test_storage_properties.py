@@ -1,0 +1,63 @@
+"""Property-based tests of the processor-sharing pipe.
+
+Invariant under test: work conservation.  For any set of transfers that
+all start at t=0 on an uncapped pipe, the last completion time equals
+total_bytes / aggregate_bw (the pipe is never idle while work remains),
+and completions are ordered by transfer size.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.storage import MB, SharedBandwidthPipe
+from repro.sim import Environment
+
+
+@given(sizes=st.lists(st.integers(min_value=1, max_value=500),
+                      min_size=1, max_size=12))
+@settings(max_examples=50, deadline=None)
+def test_work_conservation(sizes):
+    env = Environment()
+    bw = 100.0
+    pipe = SharedBandwidthPipe(env, aggregate_bw=bw)
+    finish = {}
+
+    def xfer(i, size):
+        yield pipe.transfer(size)
+        finish[i] = env.now
+
+    procs = [env.process(xfer(i, s)) for i, s in enumerate(sizes)]
+    env.run(env.all_of(procs))
+    makespan = max(finish.values())
+    assert makespan == pytest.approx(sum(sizes) / bw, rel=1e-6)
+
+
+@given(sizes=st.lists(st.integers(min_value=1, max_value=500),
+                      min_size=2, max_size=10))
+@settings(max_examples=50, deadline=None)
+def test_smaller_transfers_finish_no_later(sizes):
+    env = Environment()
+    pipe = SharedBandwidthPipe(env, aggregate_bw=100.0)
+    finish = {}
+
+    def xfer(i, size):
+        yield pipe.transfer(size)
+        finish[i] = env.now
+
+    procs = [env.process(xfer(i, s)) for i, s in enumerate(sizes)]
+    env.run(env.all_of(procs))
+    # Sort by size: completion times must be non-decreasing in size.
+    by_size = sorted(range(len(sizes)), key=lambda i: sizes[i])
+    times = [finish[i] for i in by_size]
+    assert times == sorted(times)
+
+
+@given(size=st.integers(min_value=1, max_value=10**9),
+       streams=st.integers(min_value=1, max_value=64))
+@settings(max_examples=50)
+def test_estimate_monotone_in_contention(size, streams):
+    env = Environment()
+    pipe = SharedBandwidthPipe(env, aggregate_bw=100 * MB, per_stream_bw=50 * MB)
+    assert (pipe.estimate_duration(size, streams + 1)
+            >= pipe.estimate_duration(size, streams) - 1e-9)

@@ -1,0 +1,1 @@
+"""Core-test fixtures live in the top-level tests/conftest.py."""

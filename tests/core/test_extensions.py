@@ -1,0 +1,148 @@
+"""Tests for the future-work extensions (§V): in-memory tier, Docker.
+
+PYTEST_DONT_REWRITE — assertion rewriting of this module trips a
+CPython 3.11 ``ast`` recursion-guard bug; plain asserts work fine.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analytics import generate_points, kmeans_reference
+from repro.analytics.kmeans import run_kmeans_pilot
+from repro.core import (
+    ComputePilotDescription,
+    ComputeUnitDescription,
+    PilotState,
+    UnitState,
+)
+from tests.core.test_units import fast_agent
+
+
+def active_pilot(stack, lrm="fork", nodes=1):
+    env, registry, session, pmgr, umgr = stack
+    pilot = pmgr.submit_pilot(ComputePilotDescription(
+        resource="slurm://stampede", nodes=nodes, runtime=600,
+        agent_config=fast_agent(lrm=lrm)))
+    umgr.add_pilots(pilot)
+    env.run(pilot.wait(PilotState.ACTIVE))
+    return pilot
+
+
+def exec_span(unit):
+    return (unit.timestamp(UnitState.AGENT_STAGING_OUTPUT)
+            - unit.timestamp(UnitState.EXECUTING))
+
+
+# ----------------------------------------------------------- memory tier
+def test_memory_tier_faster_than_lustre(stack):
+    env, registry, session, pmgr, umgr = stack
+    active_pilot(stack)
+    disk, mem = umgr.submit_units([
+        ComputeUnitDescription(cores=1, input_bytes=500e6,
+                               input_tier="default"),
+        ComputeUnitDescription(cores=1, input_bytes=500e6,
+                               input_tier="memory")])
+    env.run(umgr.wait_units([disk, mem]))
+    assert exec_span(mem) < exec_span(disk)
+
+
+def test_memory_tier_on_yarn_backend(stack):
+    env, registry, session, pmgr, umgr = stack
+    active_pilot(stack, lrm="yarn")
+    disk, mem = umgr.submit_units([
+        ComputeUnitDescription(cores=1, input_bytes=2e9,
+                               input_tier="default"),
+        ComputeUnitDescription(cores=1, input_bytes=2e9,
+                               input_tier="memory")])
+    env.run(umgr.wait_units([disk, mem]))
+    assert disk.state is UnitState.DONE and mem.state is UnitState.DONE
+    assert exec_span(mem) < exec_span(disk)
+
+
+def test_invalid_input_tier_rejected(stack):
+    env, registry, session, pmgr, umgr = stack
+    active_pilot(stack)
+    with pytest.raises(ValueError, match="input tier"):
+        umgr.submit_units(ComputeUnitDescription(cores=1,
+                                                 input_tier="ssd"))
+
+
+def test_kmeans_in_memory_caching_speeds_iterations(stack):
+    env, registry, session, pmgr, umgr = stack
+    active_pilot(stack, nodes=2)
+    points = generate_points(2000, 4, seed=2)
+    expected = kmeans_reference(points, 4, iterations=3)
+    spans = {}
+    for cached in (False, True):
+        out = {}
+
+        def wl(_cached=cached, _out=out):
+            t0 = env.now
+            from repro.analytics.kmeans import KMeansCost
+            cost = KMeansCost(bytes_per_point_in=200_000.0)
+            c, units = yield from run_kmeans_pilot(
+                umgr, points, 4, ntasks=4, iterations=3, cost=cost,
+                cache_in_memory=_cached)
+            _out["span"] = env.now - t0
+            _out["centroids"] = c
+
+        env.run(env.process(wl()))
+        spans[cached] = out["span"]
+        assert np.allclose(out["centroids"], expected)
+    assert spans[True] < spans[False]
+
+
+# ----------------------------------------------------------------- docker
+def test_docker_launch_pulls_image_once(stack):
+    env, registry, session, pmgr, umgr = stack
+    active_pilot(stack, nodes=1)
+    first, = umgr.submit_units([ComputeUnitDescription(
+        cores=1, launch_method="docker", cpu_seconds=1.0)])
+    env.run(umgr.wait_units([first]))
+    second, = umgr.submit_units([ComputeUnitDescription(
+        cores=1, launch_method="docker", cpu_seconds=1.0)])
+    env.run(umgr.wait_units([second]))
+    assert first.state is UnitState.DONE
+    assert second.state is UnitState.DONE
+    # the first unit pays the image pull (~33s at 12 MB/s for 400 MB);
+    # the second runs from the node's cache
+    first_total = (first.timestamp(UnitState.AGENT_STAGING_OUTPUT)
+                   - first.timestamp(UnitState.AGENT_SCHEDULING))
+    second_total = (second.timestamp(UnitState.AGENT_STAGING_OUTPUT)
+                    - second.timestamp(UnitState.AGENT_SCHEDULING))
+    assert first_total > second_total + 10.0
+
+
+def test_docker_skips_lustre_environment_load(stack):
+    env, registry, session, pmgr, umgr = stack
+    # big Lustre environment: plain fork units pay it, docker units don't
+    env_, registry_, session_, pmgr_, umgr_ = stack
+    pilot = pmgr.submit_pilot(ComputePilotDescription(
+        resource="slurm://stampede", nodes=1, runtime=600,
+        agent_config=fast_agent(task_environment_bytes=2e9)))
+    umgr.add_pilots(pilot)
+    env.run(pilot.wait(PilotState.ACTIVE))
+
+    warm, = umgr.submit_units([ComputeUnitDescription(
+        cores=1, launch_method="docker", cpu_seconds=1.0)])
+    env.run(umgr.wait_units([warm]))  # pays the image pull
+    docker, fork = umgr.submit_units([
+        ComputeUnitDescription(cores=1, launch_method="docker",
+                               cpu_seconds=1.0),
+        ComputeUnitDescription(cores=1, launch_method="fork",
+                               cpu_seconds=1.0)])
+    env.run(umgr.wait_units([docker, fork]))
+    total = lambda u: (u.timestamp(UnitState.AGENT_STAGING_OUTPUT)
+                       - u.timestamp(UnitState.AGENT_SCHEDULING))
+    # fork reads 2 GB from Lustre before starting; docker does not
+    assert total(fork) > total(docker) + 3.0
+
+
+def test_unknown_launch_method_fails_unit(stack):
+    env, registry, session, pmgr, umgr = stack
+    active_pilot(stack)
+    units = umgr.submit_units(ComputeUnitDescription(
+        cores=1, launch_method="srun"))
+    env.run(umgr.wait_units(units))
+    assert units[0].state is UnitState.FAILED
+    assert "launch method" in units[0].stderr

@@ -1,0 +1,83 @@
+"""Tests for the agent heartbeat + client-side heartbeat monitor."""
+
+import pytest
+
+from repro.core import (
+    ComputePilotDescription,
+    ComputeUnitDescription,
+    PilotManager,
+    PilotState,
+    Session,
+    UnitManager,
+)
+from repro.cluster import stampede
+from repro.rms import RmsConfig
+from repro.saga import Registry, Site
+from repro.sim import Environment
+from tests.core.test_units import fast_agent
+
+FAST_RMS = RmsConfig(submit_latency=0.2, schedule_interval=0.5,
+                     prolog_seconds=0.5, epilog_seconds=0.2)
+
+
+def make_stack(hb_timeout=300.0, hb_check=30.0):
+    env = Environment()
+    registry = Registry()
+    registry.register(Site(env, stampede(num_nodes=2),
+                           rms_config=FAST_RMS))
+    session = Session(env, registry)
+    pmgr = PilotManager(session, heartbeat_timeout=hb_timeout,
+                        heartbeat_check_interval=hb_check)
+    return env, session, pmgr, UnitManager(session)
+
+
+def test_heartbeats_advance_while_active():
+    env, session, pmgr, umgr = make_stack()
+    pilot = pmgr.submit_pilot(ComputePilotDescription(
+        resource="slurm://stampede", nodes=1, runtime=600,
+        agent_config=fast_agent(db_poll_interval=1.0)))
+    env.run(pilot.wait(PilotState.ACTIVE))
+    env.run(until=env.now + 10.0)
+    first = pmgr.last_heartbeat(pilot.uid)
+    assert first is not None
+    env.run(until=env.now + 10.0)
+    assert pmgr.last_heartbeat(pilot.uid) > first
+
+
+def test_healthy_pilot_not_flagged():
+    env, session, pmgr, umgr = make_stack(hb_timeout=20.0, hb_check=5.0)
+    pilot = pmgr.submit_pilot(ComputePilotDescription(
+        resource="slurm://stampede", nodes=1, runtime=600,
+        agent_config=fast_agent(db_poll_interval=1.0)))
+    env.run(pilot.wait(PilotState.ACTIVE))
+    env.run(until=env.now + 100.0)
+    assert pilot.state is PilotState.ACTIVE
+
+
+def test_hung_agent_detected_and_pilot_failed():
+    env, session, pmgr, umgr = make_stack(hb_timeout=20.0, hb_check=5.0)
+    # a poll interval far beyond the timeout models a hung agent: it
+    # goes ACTIVE, heartbeats once, then never returns to the loop
+    pilot = pmgr.submit_pilot(ComputePilotDescription(
+        resource="slurm://stampede", nodes=1, runtime=600,
+        agent_config=fast_agent(db_poll_interval=1e6)))
+    env.run(pilot.wait(PilotState.ACTIVE))
+    env.run(pilot.wait())
+    assert pilot.state is PilotState.FAILED
+
+
+def test_units_on_hung_pilot_stay_unclaimed():
+    env, session, pmgr, umgr = make_stack(hb_timeout=20.0, hb_check=5.0)
+    pilot = pmgr.submit_pilot(ComputePilotDescription(
+        resource="slurm://stampede", nodes=1, runtime=600,
+        agent_config=fast_agent(db_poll_interval=1e6)))
+    umgr.add_pilots(pilot)
+    env.run(pilot.wait(PilotState.ACTIVE))
+    units = umgr.submit_units([ComputeUnitDescription(cores=1)])
+    env.run(pilot.wait())
+    assert pilot.state is PilotState.FAILED
+    # the unit was never executed; clients can cancel and resubmit
+    assert not units[0].state.is_final
+    umgr.cancel_units(units)
+    env.run(umgr.wait_units(units))
+    assert units[0].state.value == "Canceled"

@@ -1,0 +1,114 @@
+"""Tests for pilot submission, activation, cancellation, walltime."""
+
+import pytest
+
+from repro.core import (
+    AgentConfig,
+    ComputePilotDescription,
+    PilotState,
+)
+
+
+def fast_agent(**kw):
+    defaults = dict(bootstrap_seconds=2.0, db_connect_seconds=0.2,
+                    db_poll_interval=0.2, spawn_overhead_seconds=0.1)
+    defaults.update(kw)
+    return AgentConfig(**defaults)
+
+
+def test_pilot_reaches_active(stack):
+    env, registry, session, pmgr, umgr = stack
+    pilot = pmgr.submit_pilot(ComputePilotDescription(
+        resource="slurm://stampede", nodes=2, runtime=60,
+        agent_config=fast_agent()))
+    env.run(pilot.wait(PilotState.ACTIVE))
+    assert pilot.state is PilotState.ACTIVE
+    assert pilot.agent_info["cores"] == 32
+    assert len(pilot.agent_info["nodes"]) == 2
+
+
+def test_pilot_state_history_ordered(stack):
+    env, registry, session, pmgr, umgr = stack
+    pilot = pmgr.submit_pilot(ComputePilotDescription(
+        resource="slurm://stampede", nodes=1, runtime=60,
+        agent_config=fast_agent()))
+    env.run(pilot.wait(PilotState.ACTIVE))
+    states = [s for _, s in pilot.history]
+    assert states == [PilotState.NEW, PilotState.PENDING_LAUNCH,
+                      PilotState.LAUNCHING, PilotState.PENDING_ACTIVE,
+                      PilotState.ACTIVE]
+    times = [t for t, _ in pilot.history]
+    assert times == sorted(times)
+
+
+def test_pilot_cancel(stack):
+    env, registry, session, pmgr, umgr = stack
+    pilot = pmgr.submit_pilot(ComputePilotDescription(
+        resource="slurm://stampede", nodes=1, runtime=60,
+        agent_config=fast_agent()))
+
+    def driver():
+        yield pilot.wait(PilotState.ACTIVE)
+        pmgr.cancel_pilot(pilot.uid)
+        yield pilot.wait()
+
+    env.run(env.process(driver()))
+    assert pilot.state is PilotState.CANCELED
+
+
+def test_pilot_walltime_finalizes(stack):
+    env, registry, session, pmgr, umgr = stack
+    # runtime in minutes: 0.2 -> 12s walltime; bootstrap eats most of it
+    pilot = pmgr.submit_pilot(ComputePilotDescription(
+        resource="slurm://stampede", nodes=1, runtime=0.2,
+        agent_config=fast_agent()))
+    env.run(pilot.wait())
+    assert pilot.state is PilotState.DONE
+
+
+def test_pilot_validation(stack):
+    env, registry, session, pmgr, umgr = stack
+    with pytest.raises(ValueError):
+        pmgr.submit_pilot(ComputePilotDescription(
+            resource="slurm://stampede", nodes=0))
+    with pytest.raises(ValueError):
+        pmgr.submit_pilot(ComputePilotDescription(
+            resource="slurm://stampede", runtime=-5))
+    with pytest.raises(ValueError):
+        pmgr.submit_pilot(ComputePilotDescription(
+            resource="slurm://stampede",
+            agent_config=AgentConfig(lrm="mesos")))
+
+
+def test_pilot_unknown_site(stack):
+    env, registry, session, pmgr, umgr = stack
+    with pytest.raises(KeyError):
+        pmgr.submit_pilot(ComputePilotDescription(
+            resource="slurm://comet", nodes=1))
+
+
+def test_pilot_timestamps_queryable(stack):
+    env, registry, session, pmgr, umgr = stack
+    pilot = pmgr.submit_pilot(ComputePilotDescription(
+        resource="slurm://stampede", nodes=1, runtime=60,
+        agent_config=fast_agent()))
+    env.run(pilot.wait(PilotState.ACTIVE))
+    t_launch = pilot.timestamp(PilotState.LAUNCHING)
+    t_active = pilot.timestamp(PilotState.ACTIVE)
+    assert t_launch is not None and t_active is not None
+    assert t_active > t_launch
+    assert pilot.timestamp(PilotState.FAILED) is None
+
+
+def test_two_pilots_on_two_machines(stack):
+    env, registry, session, pmgr, umgr = stack
+    a = pmgr.submit_pilot(ComputePilotDescription(
+        resource="slurm://stampede", nodes=1, runtime=60,
+        agent_config=fast_agent()))
+    b = pmgr.submit_pilot(ComputePilotDescription(
+        resource="slurm://wrangler", nodes=1, runtime=60,
+        agent_config=fast_agent()))
+    env.run(env.all_of([a.wait(PilotState.ACTIVE),
+                        b.wait(PilotState.ACTIVE)]))
+    assert a.agent_info["cores"] == 16
+    assert b.agent_info["cores"] == 48

@@ -1,0 +1,100 @@
+"""Tests for the predictive Unit-Manager scheduler (§V future work)."""
+
+import pytest
+
+from repro.core import (
+    ComputePilotDescription,
+    ComputeUnitDescription,
+    PilotState,
+    UnitState,
+)
+from repro.core.unit_manager import PredictiveScheduler
+from tests.core.test_units import fast_agent
+
+
+def test_alpha_validation():
+    with pytest.raises(ValueError):
+        PredictiveScheduler(alpha=0.0)
+    with pytest.raises(ValueError):
+        PredictiveScheduler(alpha=1.5)
+    PredictiveScheduler(alpha=1.0)  # boundary is legal
+
+
+def test_ewma_learning():
+    sched = PredictiveScheduler(alpha=0.5)
+    sched.observe("pilot.x", 100.0, 1)
+    assert sched._ewma["pilot.x"] == 100.0
+    sched.observe("pilot.x", 50.0, 1)
+    assert sched._ewma["pilot.x"] == pytest.approx(75.0)
+
+
+def test_backlog_accounting():
+    sched = PredictiveScheduler()
+    sched._queued_core_seconds["p"] = 100.0
+    sched.observe("p", 30.0, 2)
+    assert sched._queued_core_seconds["p"] == pytest.approx(40.0)
+    sched.observe("p", 100.0, 2)
+    assert sched._queued_core_seconds["p"] == 0.0  # never negative
+
+
+def test_assign_prefers_faster_pilot(stack):
+    env, registry, session, pmgr, umgr = stack
+    umgr.scheduler = PredictiveScheduler(alpha=1.0)
+    slow = pmgr.submit_pilot(ComputePilotDescription(
+        resource="slurm://stampede", nodes=1, runtime=600,
+        agent_config=fast_agent()))
+    fast = pmgr.submit_pilot(ComputePilotDescription(
+        resource="slurm://wrangler", nodes=1, runtime=600,
+        agent_config=fast_agent()))
+    umgr.add_pilots([slow, fast])
+    env.run(env.all_of([slow.wait(PilotState.ACTIVE),
+                        fast.wait(PilotState.ACTIVE)]))
+    # teach the scheduler: slow pilot takes 100s/unit, fast takes 10s
+    umgr.scheduler.observe(slow.uid, 100.0, 1)
+    umgr.scheduler.observe(fast.uid, 10.0, 1)
+
+    units = umgr.submit_units([ComputeUnitDescription(cores=1,
+                                                      cpu_seconds=1.0)
+                               for _ in range(3)])
+    # with ETAs 100 vs 10(+backlog), the fast pilot absorbs the burst
+    assert all(u.pilot_uid == fast.uid for u in units)
+    env.run(umgr.wait_units(units))
+    assert all(u.state is UnitState.DONE for u in units)
+
+
+def test_backlog_spills_to_other_pilot(stack):
+    env, registry, session, pmgr, umgr = stack
+    umgr.scheduler = PredictiveScheduler(alpha=1.0)
+    a = pmgr.submit_pilot(ComputePilotDescription(
+        resource="slurm://stampede", nodes=1, runtime=600,
+        agent_config=fast_agent()))
+    b = pmgr.submit_pilot(ComputePilotDescription(
+        resource="slurm://wrangler", nodes=1, runtime=600,
+        agent_config=fast_agent()))
+    umgr.add_pilots([a, b])
+    env.run(env.all_of([a.wait(PilotState.ACTIVE),
+                        b.wait(PilotState.ACTIVE)]))
+    # both equally fast per unit; queue pressure must spread the burst
+    umgr.scheduler.observe(a.uid, 50.0, 1)
+    umgr.scheduler.observe(b.uid, 50.0, 1)
+    units = umgr.submit_units([ComputeUnitDescription(cores=16,
+                                                      cpu_seconds=1.0)
+                               for _ in range(8)])
+    targets = {u.pilot_uid for u in units}
+    assert targets == {a.uid, b.uid}
+
+
+def test_learning_from_real_executions(stack):
+    env, registry, session, pmgr, umgr = stack
+    umgr.scheduler = PredictiveScheduler()
+    pilot = pmgr.submit_pilot(ComputePilotDescription(
+        resource="slurm://stampede", nodes=1, runtime=600,
+        agent_config=fast_agent()))
+    umgr.add_pilots(pilot)
+    env.run(pilot.wait(PilotState.ACTIVE))
+    units = umgr.submit_units([ComputeUnitDescription(cores=1,
+                                                      cpu_seconds=40.0)])
+    env.run(umgr.wait_units(units))
+    # the watcher fed the observation back automatically
+    assert pilot.uid in umgr.scheduler._ewma
+    assert umgr.scheduler._ewma[pilot.uid] > 30.0

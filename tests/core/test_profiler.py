@@ -1,0 +1,97 @@
+"""Tests for session profiling utilities."""
+
+import pytest
+
+from repro.core import (
+    ComputePilotDescription,
+    ComputeUnitDescription,
+    PilotState,
+    UnitState,
+)
+from repro.core.profiler import (
+    concurrency_series,
+    core_utilization,
+    peak_concurrency,
+    phase_means,
+    pilot_startup_breakdown,
+    unit_phases,
+)
+from tests.core.test_units import fast_agent
+
+
+@pytest.fixture()
+def run_units(stack):
+    env, registry, session, pmgr, umgr = stack
+    pilot = pmgr.submit_pilot(ComputePilotDescription(
+        resource="slurm://stampede", nodes=1, runtime=600,
+        agent_config=fast_agent()))
+    umgr.add_pilots(pilot)
+    env.run(pilot.wait(PilotState.ACTIVE))
+    units = umgr.submit_units([ComputeUnitDescription(
+        cores=4, cpu_seconds=80.0) for _ in range(8)])  # 20s each, 4 fit
+    env.run(umgr.wait_units(units))
+    return env, pilot, units
+
+
+def test_unit_phases_cover_pipeline(run_units):
+    env, pilot, units = run_units
+    phases = unit_phases(units[0])
+    assert phases["execute"] > 15.0
+    assert all(v is not None and v >= 0 for v in phases.values())
+
+
+def test_phase_means(run_units):
+    env, pilot, units = run_units
+    means = phase_means(units)
+    assert set(means) == {"queue", "stage_in", "schedule", "execute",
+                          "stage_out"}
+    assert means["execute"] == pytest.approx(20.0, rel=0.1)
+
+
+def test_pilot_startup_breakdown(run_units):
+    env, pilot, units = run_units
+    breakdown = pilot_startup_breakdown(pilot)
+    assert breakdown["total"] == pytest.approx(
+        breakdown["submit_to_launch"] + breakdown["queue_wait"]
+        + breakdown["agent_bootstrap"], abs=1e-6)
+    assert breakdown["agent_bootstrap"] > 0
+    assert breakdown["lrm_setup"] == 0.0  # fork LRM
+
+
+def test_concurrency_capped_by_cores(run_units):
+    env, pilot, units = run_units
+    # 8 units x 4 cores on a 16-core node: at most 4 concurrent
+    assert peak_concurrency(units) == 4
+    series = concurrency_series(units)
+    assert all(count >= 0 for _, count in series)
+    assert series[-1][1] == 0  # everything drained
+
+
+def test_incomplete_unit_phases_none(stack):
+    env, registry, session, pmgr, umgr = stack
+    pilot = pmgr.submit_pilot(ComputePilotDescription(
+        resource="slurm://stampede", nodes=1, runtime=600,
+        agent_config=fast_agent(bootstrap_seconds=1e6)))
+    umgr.add_pilots(pilot)
+    units = umgr.submit_units([ComputeUnitDescription(cores=1)])
+    env.run(until=10.0)
+    phases = unit_phases(units[0])
+    assert phases["execute"] is None
+
+
+def test_core_utilization_bounds(run_units):
+    env, pilot, units = run_units
+    wave_start = min(u.timestamp(UnitState.EXECUTING) for u in units)
+    util = core_utilization(units, pilot, start=wave_start)
+    assert 0.5 < util <= 1.0  # 4x4 cores busy of 16 during the waves
+
+
+def test_core_utilization_degenerate_inputs():
+    """Degenerate inputs return 0 rather than raising."""
+    from repro.core.description import ComputePilotDescription
+    from repro.core.pilot import ComputePilot
+    from repro.sim import Environment
+    env = Environment()
+    pilot = ComputePilot(env, "p", ComputePilotDescription(
+        resource="slurm://stampede"))
+    assert core_utilization([], pilot) == 0.0

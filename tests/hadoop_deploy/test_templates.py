@@ -1,0 +1,45 @@
+"""Tests for hardware-aware Hadoop configuration templates (§V)."""
+
+from repro.cluster import stampede, wrangler
+from repro.cluster.machine import MachineSpec
+from repro.cluster.storage import GB, MB, StorageSpec
+from repro.hadoop_deploy import tune_for_machine
+
+
+def test_wrangler_flash_shuffles_locally():
+    template = tune_for_machine(wrangler(num_nodes=3))
+    assert template.shuffle_transport == "local"
+
+
+def test_large_memory_machine_gets_bigger_buffers():
+    small = tune_for_machine(stampede(num_nodes=1))
+    large = tune_for_machine(wrangler(num_nodes=1))
+    assert large.io_sort_mb > small.io_sort_mb
+    assert (large.yarn_config.nm_memory_fraction
+            > small.yarn_config.nm_memory_fraction)
+
+
+def test_slow_disks_fast_lustre_prefers_lustre_shuffle():
+    spec = MachineSpec(
+        name="spindle-machine", num_nodes=2, cores_per_node=16,
+        memory_per_node=32 * GB, cpu_speed=1.0,
+        local_disk=StorageSpec(name="slow-disk", aggregate_bw=40 * MB,
+                               capacity=100 * GB),
+        shared_fs=StorageSpec(name="fat-lustre", aggregate_bw=5000 * MB,
+                              capacity=1000 * GB),
+        backbone_bw=10 * GB, link_bw=1 * GB, net_latency=1e-5,
+        download_bw=10 * MB)
+    template = tune_for_machine(spec)
+    assert template.shuffle_transport == "lustre"
+
+
+def test_vcore_oversubscription_on_many_core_nodes():
+    assert tune_for_machine(wrangler()).yarn_config.nm_vcore_ratio == 2.0
+    assert tune_for_machine(stampede()).yarn_config.nm_vcore_ratio == 1.0
+
+
+def test_rendered_snippets_present():
+    template = tune_for_machine(stampede())
+    assert "io.sort.mb" in template.rendered["mapred-site.xml.tuning"]
+    assert "memory-mb" in template.rendered["yarn-site.xml.tuning"]
+    assert template.machine == "stampede"

@@ -1,0 +1,38 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_figure5_cli(capsys):
+    assert main(["figure5"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 5 (main)" in out
+    assert "RP-YARN (Mode I)" in out
+    assert "Compute-Unit startup" in out
+
+
+def test_figure6_quick_cli(capsys):
+    assert main(["figure6", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 6" in out
+    assert "mean RP-YARN advantage" in out
+    assert out.count("OK") >= 8  # every quick-grid cell validated
+
+
+def test_ablations_cli(capsys):
+    assert main(["ablations"]) == 0
+    out = capsys.readouterr().out
+    assert "A1" in out and "A2" in out and "A3" in out
+
+
+def test_sensitivity_cli(capsys):
+    assert main(["sensitivity"]) == 0
+    out = capsys.readouterr().out
+    assert "crossover" in out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["figure7"])

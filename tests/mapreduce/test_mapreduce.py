@@ -1,0 +1,199 @@
+"""Tests for the MapReduce engine (inline and on YARN)."""
+
+import pytest
+
+from repro.cluster import Machine, stampede
+from repro.cluster.storage import MB
+from repro.hdfs import HdfsCluster
+from repro.mapreduce import MapReduceJob, MRJobSpec
+from repro.sim import Environment, SeedSequenceRegistry
+from repro.yarn import YarnCluster, YarnConfig
+
+
+def make_stack(num_nodes=3, block_size=8 * MB):
+    env = Environment()
+    machine = Machine(env, stampede(num_nodes=num_nodes))
+    hdfs = HdfsCluster(env, machine, machine.nodes, replication=2,
+                       block_size=block_size,
+                       rng=SeedSequenceRegistry(11).stream("mr"))
+    yarn = YarnCluster(env, machine, machine.nodes, config=YarnConfig())
+
+    def boot():
+        yield env.process(hdfs.start())
+        yield env.process(yarn.start())
+
+    env.run(env.process(boot()))
+    return env, machine, hdfs, yarn
+
+
+def load_words(env, hdfs, words, blocks=3):
+    """Write a word list to HDFS split across `blocks` blocks."""
+    per = max(1, (len(words) + blocks - 1) // blocks)
+    slices = [words[i * per:(i + 1) * per] for i in range(blocks)]
+    slices = [s for s in slices if s]
+    nbytes = len(slices) * 8 * MB - 1  # spans len(slices) blocks of 8MB
+    client = hdfs.client(hdfs.master_node.name)
+
+    def put():
+        yield env.process(client.put("/in/words", nbytes,
+                                     payload_slices=slices))
+
+    env.run(env.process(put()))
+
+
+def wordcount_spec(num_reducers=2):
+    return MRJobSpec(
+        name="wordcount",
+        input_path="/in/words",
+        output_path="/out/wc",
+        mapper=lambda word: [(word, 1)],
+        reducer=lambda word, counts: [(word, sum(counts))],
+        num_reducers=num_reducers,
+        partitioner=lambda key, n: sum(key.encode()) % n,
+    )
+
+
+WORDS = ["apple", "banana", "apple", "cherry", "banana", "apple",
+         "durian", "cherry", "apple", "banana"]
+EXPECTED = {"apple": 4, "banana": 3, "cherry": 2, "durian": 1}
+
+
+def collect_counts(output):
+    counts = {}
+    for partition_results in output.values():
+        for word, count in partition_results:
+            counts[word] = count
+    return counts
+
+
+def test_wordcount_inline_correct():
+    env, machine, hdfs, yarn = make_stack()
+    load_words(env, hdfs, WORDS)
+    job = MapReduceJob(env, wordcount_spec(), hdfs)
+    output = env.run(env.process(job.run_inline()))
+    assert collect_counts(output) == EXPECTED
+
+
+def test_wordcount_on_yarn_correct():
+    env, machine, hdfs, yarn = make_stack()
+    load_words(env, hdfs, WORDS)
+    job = MapReduceJob(env, wordcount_spec(), hdfs)
+    output = env.run(env.process(job.run_on_yarn(yarn)))
+    assert collect_counts(output) == EXPECTED
+
+
+def test_yarn_and_inline_agree():
+    for runner in ("inline", "yarn"):
+        env, machine, hdfs, yarn = make_stack()
+        load_words(env, hdfs, WORDS)
+        job = MapReduceJob(env, wordcount_spec(), hdfs)
+        if runner == "inline":
+            output = env.run(env.process(job.run_inline()))
+        else:
+            output = env.run(env.process(job.run_on_yarn(yarn)))
+        assert collect_counts(output) == EXPECTED
+
+
+def test_one_map_task_per_block():
+    env, machine, hdfs, yarn = make_stack()
+    load_words(env, hdfs, WORDS, blocks=3)
+    job = MapReduceJob(env, wordcount_spec(), hdfs)
+    env.run(env.process(job.run_inline()))
+    meta = hdfs.namenode.file_meta("/in/words")
+    assert job.counters.maps_launched == len(meta.blocks)
+
+
+def test_counters_accounting():
+    env, machine, hdfs, yarn = make_stack()
+    load_words(env, hdfs, WORDS)
+    job = MapReduceJob(env, wordcount_spec(), hdfs)
+    env.run(env.process(job.run_inline()))
+    c = job.counters
+    assert c.map_input_records == len(WORDS)
+    assert c.map_output_records == len(WORDS)
+    assert c.reduce_output_records == len(EXPECTED)
+    assert c.reduce_input_groups == len(EXPECTED)
+    assert c.shuffle_bytes > 0
+
+
+def test_combiner_reduces_shuffle():
+    env1, _, hdfs1, _ = make_stack()
+    load_words(env1, hdfs1, WORDS)
+    plain = MapReduceJob(env1, wordcount_spec(), hdfs1)
+    env1.run(env1.process(plain.run_inline()))
+
+    env2, _, hdfs2, _ = make_stack()
+    load_words(env2, hdfs2, WORDS)
+    spec = wordcount_spec()
+    spec.combiner = lambda word, counts: [sum(counts)]
+    combined = MapReduceJob(env2, spec, hdfs2)
+    output = env2.run(env2.process(combined.run_inline()))
+
+    assert collect_counts(output) == EXPECTED
+    assert combined.counters.shuffle_bytes < plain.counters.shuffle_bytes
+
+
+def test_output_written_to_hdfs():
+    env, machine, hdfs, yarn = make_stack()
+    load_words(env, hdfs, WORDS)
+    job = MapReduceJob(env, wordcount_spec(num_reducers=2), hdfs)
+    env.run(env.process(job.run_inline()))
+    files = hdfs.namenode.list_files("/out/wc")
+    assert files == ["/out/wc/part-r-00000", "/out/wc/part-r-00001"]
+
+
+def test_data_local_maps_counted():
+    env, machine, hdfs, yarn = make_stack()
+    load_words(env, hdfs, WORDS)
+    job = MapReduceJob(env, wordcount_spec(), hdfs)
+    env.run(env.process(job.run_inline()))
+    # inline runner places maps on a replica holder: all local
+    assert job.counters.data_local_maps == job.counters.maps_launched
+
+
+def test_yarn_locality_preference_mostly_local():
+    env, machine, hdfs, yarn = make_stack(num_nodes=3)
+    load_words(env, hdfs, WORDS, blocks=3)
+    job = MapReduceJob(env, wordcount_spec(), hdfs)
+    env.run(env.process(job.run_on_yarn(yarn)))
+    assert job.counters.data_local_maps >= 1
+
+
+def test_map_cpu_cost_extends_runtime():
+    env1, _, hdfs1, _ = make_stack()
+    load_words(env1, hdfs1, WORDS)
+    fast = MapReduceJob(env1, wordcount_spec(), hdfs1)
+    env1.run(env1.process(fast.run_inline()))
+    t_fast = env1.now
+
+    env2, _, hdfs2, _ = make_stack()
+    load_words(env2, hdfs2, WORDS)
+    spec = wordcount_spec()
+    spec.map_cpu_per_record = 5.0
+    slow = MapReduceJob(env2, spec, hdfs2)
+    env2.run(env2.process(slow.run_inline()))
+    assert env2.now > t_fast + 4.0
+
+
+def test_more_reducers_than_keys_gives_empty_partitions():
+    env, machine, hdfs, yarn = make_stack()
+    load_words(env, hdfs, ["only"], blocks=1)
+    job = MapReduceJob(env, wordcount_spec(num_reducers=4), hdfs)
+    output = env.run(env.process(job.run_inline()))
+    non_empty = [p for p, rows in output.items() if rows]
+    assert len(non_empty) == 1
+    assert collect_counts(output) == {"only": 1}
+
+
+def test_invalid_spec_rejected():
+    with pytest.raises(ValueError):
+        MRJobSpec(name="x", input_path="/i", output_path="/o",
+                  mapper=lambda r: [], reducer=lambda k, v: [],
+                  num_reducers=0).validate()
+
+
+def test_missing_input_raises():
+    env, machine, hdfs, yarn = make_stack()
+    job = MapReduceJob(env, wordcount_spec(), hdfs)
+    with pytest.raises(FileNotFoundError):
+        env.run(env.process(job.run_inline()))

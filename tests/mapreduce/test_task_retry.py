@@ -1,0 +1,85 @@
+"""Tests for MapReduce task retry (MRAppMaster failure recovery)."""
+
+import pytest
+
+from repro.mapreduce import MapReduceJob
+from tests.mapreduce.test_mapreduce import (
+    EXPECTED,
+    WORDS,
+    collect_counts,
+    load_words,
+    make_stack,
+    wordcount_spec,
+)
+
+
+class FlakyMapper:
+    """Fails the first ``failures`` invocations, then behaves."""
+
+    def __init__(self, failures: int):
+        self.failures = failures
+        self.calls = 0
+
+    def __call__(self, word):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise OSError("transient disk hiccup")
+        return [(word, 1)]
+
+
+def test_inline_retry_recovers_from_transient_failure():
+    env, machine, hdfs, yarn = make_stack()
+    load_words(env, hdfs, WORDS)
+    spec = wordcount_spec()
+    flaky = FlakyMapper(failures=1)
+    spec.mapper = flaky
+    spec.max_task_attempts = 3
+    job = MapReduceJob(env, spec, hdfs)
+    output = env.run(env.process(job.run_inline()))
+    # one map attempt failed and was retried; results still correct
+    assert collect_counts(output) == EXPECTED
+
+
+def test_inline_attempts_exhausted_raises():
+    env, machine, hdfs, yarn = make_stack()
+    load_words(env, hdfs, WORDS)
+    spec = wordcount_spec()
+
+    def always_broken(word):
+        raise OSError("dead disk")
+
+    spec.mapper = always_broken
+    spec.max_task_attempts = 2
+    job = MapReduceJob(env, spec, hdfs)
+    with pytest.raises(RuntimeError, match="failed 2 times"):
+        env.run(env.process(job.run_inline()))
+
+
+def test_yarn_retry_recovers_from_transient_failure():
+    env, machine, hdfs, yarn = make_stack()
+    load_words(env, hdfs, WORDS)
+    spec = wordcount_spec()
+    flaky = FlakyMapper(failures=1)
+    spec.mapper = flaky
+    spec.max_task_attempts = 3
+    job = MapReduceJob(env, spec, hdfs)
+    output = env.run(env.process(job.run_on_yarn(yarn)))
+    assert collect_counts(output) == EXPECTED
+    # the retried attempt shows in the launch counter
+    meta = hdfs.namenode.file_meta("/in/words")
+    assert job.counters.maps_launched == len(meta.blocks) + 1
+
+
+def test_yarn_attempts_exhausted_fails_application():
+    env, machine, hdfs, yarn = make_stack()
+    load_words(env, hdfs, WORDS)
+    spec = wordcount_spec()
+
+    def always_broken(word):
+        raise OSError("dead disk")
+
+    spec.mapper = always_broken
+    spec.max_task_attempts = 2
+    job = MapReduceJob(env, spec, hdfs)
+    with pytest.raises(RuntimeError, match="failed"):
+        env.run(env.process(job.run_on_yarn(yarn)))

@@ -1,0 +1,41 @@
+"""Tests for SLURM hostlist compression, incl. a round-trip property."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rms.slurm import compress_nodelist, expand_nodelist
+
+
+def test_empty():
+    assert compress_nodelist([]) == ""
+    assert expand_nodelist("") == []
+
+
+def test_single_node():
+    assert compress_nodelist(["c0001"]) == "c[0001]"
+    assert expand_nodelist("c[0001]") == ["c0001"]
+
+
+def test_contiguous_range():
+    names = [f"c{i:04d}" for i in range(1, 5)]
+    assert compress_nodelist(names) == "c[0001-0004]"
+    assert expand_nodelist("c[0001-0004]") == names
+
+
+def test_disjoint_ranges():
+    names = ["c0001", "c0002", "c0005"]
+    assert compress_nodelist(names) == "c[0001-0002,0005]"
+    assert expand_nodelist("c[0001-0002,0005]") == names
+
+
+def test_heterogeneous_names_fall_back_to_csv():
+    assert compress_nodelist(["alpha", "beta2"]) == "alpha,beta2"
+    assert expand_nodelist("alpha,beta2") == ["alpha", "beta2"]
+
+
+@given(numbers=st.sets(st.integers(min_value=0, max_value=9999),
+                       min_size=1, max_size=40))
+@settings(max_examples=100)
+def test_roundtrip_property(numbers):
+    names = sorted(f"node{n:04d}" for n in numbers)
+    assert expand_nodelist(compress_nodelist(names)) == names

@@ -1,0 +1,125 @@
+"""Edge-case tests for the DES kernel (paths missed by the main suite)."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    Environment,
+    Event,
+    Interrupt,
+    Resource,
+    SimulationError,
+)
+
+
+def test_all_of_fails_if_any_constituent_fails():
+    env = Environment()
+    bad = env.event()
+    slow = env.timeout(10.0)
+
+    def proc():
+        with pytest.raises(ValueError, match="boom"):
+            yield env.all_of([bad, slow])
+        return "caught"
+
+    def failer():
+        yield env.timeout(1.0)
+        bad.fail(ValueError("boom"))
+
+    p = env.process(proc())
+    env.process(failer())
+    assert env.run(p) == "caught"
+
+
+def test_any_of_fails_fast_on_failure():
+    env = Environment()
+    bad = env.event()
+
+    def proc():
+        with pytest.raises(RuntimeError):
+            yield env.any_of([bad, env.timeout(100.0)])
+        return env.now
+
+    def failer():
+        yield env.timeout(2.0)
+        bad.fail(RuntimeError("x"))
+
+    p = env.process(proc())
+    env.process(failer())
+    assert env.run(p) == 2.0
+
+
+def test_yield_already_processed_event_resumes_immediately():
+    env = Environment()
+    done = env.timeout(1.0, value="early")
+    env.run()  # processes the timeout
+
+    def proc():
+        value = yield done  # already processed
+        return (env.now, value)
+
+    assert env.run(env.process(proc())) == (1.0, "early")
+
+
+def test_interrupt_while_waiting_on_resource_cancels_request():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    got = []
+
+    def holder():
+        with res.request() as req:
+            yield req
+            yield env.timeout(50.0)
+
+    def waiter():
+        req = res.request()
+        try:
+            yield req
+            got.append("granted")
+        except Interrupt:
+            req.cancel()
+            got.append("interrupted")
+
+    def interrupter(target):
+        yield env.timeout(5.0)
+        target.interrupt()
+
+    env.process(holder())
+    target = env.process(waiter())
+    env.process(interrupter(target))
+    env.run()
+    assert got == ["interrupted"]
+    # the canceled request never steals the slot later
+    assert res.queue_length == 0
+
+
+def test_condition_events_must_share_environment():
+    env_a, env_b = Environment(), Environment()
+    with pytest.raises(SimulationError, match="environments"):
+        env_a.all_of([env_a.timeout(1), env_b.timeout(1)])
+
+
+def test_fail_requires_exception_instance():
+    env = Environment()
+    with pytest.raises(SimulationError, match="exception"):
+        env.event().fail("not an exception")
+
+
+def test_run_until_event_from_empty_queue_raises():
+    env = Environment()
+    pending = env.event()  # never triggered, nothing scheduled
+    with pytest.raises(SimulationError, match="never fired"):
+        env.run(until=pending)
+
+
+def test_step_with_no_events_raises():
+    env = Environment()
+    with pytest.raises(SimulationError, match="no scheduled"):
+        env.step()
+
+
+def test_run_to_horizon_advances_clock_past_last_event():
+    env = Environment()
+    env.timeout(3.0)
+    env.run(until=10.0)
+    assert env.now == 10.0

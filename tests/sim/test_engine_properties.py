@@ -1,0 +1,118 @@
+"""Property-based tests of kernel invariants (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment, Level, Resource, Store
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=1e6,
+                                 allow_nan=False), min_size=1, max_size=30))
+@settings(max_examples=60)
+def test_clock_is_monotone_nondecreasing(delays):
+    """However events are scheduled, observed times never go backwards."""
+    env = Environment()
+    observed = []
+
+    def proc(delay):
+        yield env.timeout(delay)
+        observed.append(env.now)
+
+    for d in delays:
+        env.process(proc(d))
+    env.run()
+    assert observed == sorted(observed)
+    assert len(observed) == len(delays)
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=100.0,
+                                 allow_nan=False), min_size=1, max_size=20))
+@settings(max_examples=60)
+def test_all_of_fires_at_max_delay(delays):
+    env = Environment()
+
+    def proc():
+        yield env.all_of([env.timeout(d) for d in delays])
+        return env.now
+
+    assert env.run(env.process(proc())) == max(delays)
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=100.0,
+                                 allow_nan=False), min_size=1, max_size=20))
+@settings(max_examples=60)
+def test_any_of_fires_at_min_delay(delays):
+    env = Environment()
+
+    def proc():
+        yield env.any_of([env.timeout(d) for d in delays])
+        return env.now
+
+    assert env.run(env.process(proc())) == min(delays)
+
+
+@given(capacity=st.integers(min_value=1, max_value=8),
+       n_users=st.integers(min_value=1, max_value=25),
+       hold=st.floats(min_value=0.1, max_value=10.0, allow_nan=False))
+@settings(max_examples=40)
+def test_resource_never_over_allocated(capacity, n_users, hold):
+    env = Environment()
+    res = Resource(env, capacity=capacity)
+    max_seen = 0
+
+    def user():
+        nonlocal max_seen
+        with res.request() as req:
+            yield req
+            max_seen = max(max_seen, res.count)
+            yield env.timeout(hold)
+
+    done = [env.process(user()) for _ in range(n_users)]
+    env.run(env.all_of(done))
+    assert max_seen <= capacity
+
+
+@given(amounts=st.lists(st.floats(min_value=0.1, max_value=10.0,
+                                  allow_nan=False), min_size=1, max_size=20))
+@settings(max_examples=40)
+def test_level_conserves_quantity(amounts):
+    """Everything put in can be taken back out; level never negative."""
+    env = Environment()
+    total = sum(amounts)
+    lvl = Level(env, capacity=total + 1.0, init=0.0)
+
+    def producer():
+        for a in amounts:
+            yield lvl.put(a)
+            assert 0.0 <= lvl.level <= lvl.capacity
+
+    def consumer():
+        for a in amounts:
+            yield lvl.get(a)
+            assert lvl.level >= -1e-9
+
+    p = env.process(producer())
+    c = env.process(consumer())
+    env.run(env.all_of([p, c]))
+    assert abs(lvl.level) < 1e-9
+
+
+@given(items=st.lists(st.integers(), min_size=0, max_size=30))
+@settings(max_examples=40)
+def test_store_preserves_fifo_order(items):
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def producer():
+        for item in items:
+            yield store.put(item)
+
+    def consumer():
+        for _ in items:
+            received.append((yield store.get()))
+
+    p = env.process(producer())
+    c = env.process(consumer())
+    env.run(env.all_of([p, c]))
+    assert received == items

@@ -1,0 +1,291 @@
+"""Unit tests for Resource / Level / Store primitives."""
+
+import pytest
+
+from repro.sim import Environment, Level, Resource, SimulationError, Store
+
+
+# ---------------------------------------------------------------- Resource
+def test_resource_grants_up_to_capacity():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    order = []
+
+    def user(name, hold):
+        with res.request() as req:
+            yield req
+            order.append((env.now, name, "got"))
+            yield env.timeout(hold)
+        order.append((env.now, name, "rel"))
+
+    env.process(user("a", 5.0))
+    env.process(user("b", 5.0))
+    env.process(user("c", 1.0))
+    env.run()
+    # c waits until a releases at t=5
+    assert (0.0, "a", "got") in order
+    assert (0.0, "b", "got") in order
+    assert (5.0, "c", "got") in order
+
+
+def test_resource_fifo_ordering():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    grants = []
+
+    def user(name):
+        with res.request() as req:
+            yield req
+            grants.append(name)
+            yield env.timeout(1.0)
+
+    for name in "abcd":
+        env.process(user(name))
+    env.run()
+    assert grants == list("abcd")
+
+
+def test_resource_count_and_queue():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def holder():
+        with res.request() as req:
+            yield req
+            yield env.timeout(10.0)
+
+    def prober(out):
+        yield env.timeout(1.0)
+        out["count"] = res.count
+        res.request()  # queues forever
+        yield env.timeout(1.0)
+        out["queue"] = res.queue_length
+
+    out = {}
+    env.process(holder())
+    env.process(prober(out))
+    env.run(until=5.0)
+    assert out == {"count": 1, "queue": 1}
+
+
+def test_resource_zero_capacity_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Resource(env, capacity=0)
+
+
+def test_resource_release_unqueued_request_is_noop():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    req = res.request()
+    res.release(req)
+    res.release(req)  # double release must not corrupt state
+    assert res.count == 0
+
+
+# ------------------------------------------------------------------- Level
+def test_level_get_blocks_until_put():
+    env = Environment()
+    lvl = Level(env, capacity=100.0, init=0.0)
+    trace = []
+
+    def consumer():
+        yield lvl.get(10.0)
+        trace.append(env.now)
+
+    def producer():
+        yield env.timeout(4.0)
+        yield lvl.put(10.0)
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert trace == [4.0]
+    assert lvl.level == 0.0
+
+
+def test_level_put_blocks_at_capacity():
+    env = Environment()
+    lvl = Level(env, capacity=10.0, init=10.0)
+    trace = []
+
+    def producer():
+        yield lvl.put(5.0)
+        trace.append(env.now)
+
+    def consumer():
+        yield env.timeout(3.0)
+        yield lvl.get(5.0)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert trace == [3.0]
+    assert lvl.level == 10.0
+
+
+def test_level_fifo_no_overtaking():
+    env = Environment()
+    lvl = Level(env, capacity=100.0, init=5.0)
+    grants = []
+
+    def getter(name, amount):
+        yield lvl.get(amount)
+        grants.append(name)
+
+    def feeder():
+        yield env.timeout(1.0)
+        yield lvl.put(20.0)
+
+    env.process(getter("big", 20.0))   # cannot be served from init=5
+    env.process(getter("small", 1.0))  # must wait behind big (FIFO)
+    env.process(feeder())
+    env.run()
+    assert grants == ["big", "small"]
+
+
+def test_level_invalid_amounts_rejected():
+    env = Environment()
+    lvl = Level(env, capacity=10.0)
+    with pytest.raises(SimulationError):
+        lvl.get(0)
+    with pytest.raises(SimulationError):
+        lvl.put(-1)
+
+
+def test_level_init_validation():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Level(env, capacity=5.0, init=6.0)
+
+
+# ------------------------------------------------------------------- Store
+def test_store_fifo():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer():
+        for item in (1, 2, 3):
+            yield store.put(item)
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert got == [1, 2, 3]
+
+
+def test_store_get_blocks_on_empty():
+    env = Environment()
+    store = Store(env)
+    trace = []
+
+    def consumer():
+        item = yield store.get()
+        trace.append((env.now, item))
+
+    def producer():
+        yield env.timeout(6.0)
+        yield store.put("late")
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert trace == [(6.0, "late")]
+
+
+def test_store_put_blocks_on_full():
+    env = Environment()
+    store = Store(env, capacity=1)
+    trace = []
+
+    def producer():
+        yield store.put("a")
+        yield store.put("b")
+        trace.append(env.now)
+
+    def consumer():
+        yield env.timeout(5.0)
+        yield store.get()
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert trace == [5.0]
+
+
+def test_store_filtered_get():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer():
+        for item in ("apple", "banana", "avocado"):
+            yield store.put(item)
+
+    def consumer():
+        item = yield store.get(lambda s: s.startswith("b"))
+        got.append(item)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert got == ["banana"]
+    assert list(store.items) == ["apple", "avocado"]
+
+
+def test_store_filter_getter_does_not_block_plain_getter():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def filter_consumer():
+        item = yield store.get(lambda s: s == "never")
+        got.append(("filter", item))
+
+    def plain_consumer():
+        item = yield store.get()
+        got.append(("plain", item))
+
+    def producer():
+        yield env.timeout(1.0)
+        yield store.put("x")
+
+    env.process(filter_consumer())
+    env.process(plain_consumer())
+    env.process(producer())
+    env.run(until=10.0)
+    assert got == [("plain", "x")]
+
+
+def test_store_none_item_roundtrip():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def roundtrip():
+        yield store.put(None)
+        item = yield store.get()
+        got.append(item)
+
+    env.process(roundtrip())
+    env.run()
+    assert got == [None]
+
+
+def test_store_len():
+    env = Environment()
+    store = Store(env)
+
+    def producer():
+        yield store.put(1)
+        yield store.put(2)
+
+    env.process(producer())
+    env.run()
+    assert len(store) == 2

@@ -1,0 +1,99 @@
+"""Algebraic laws of the RDD API (property-based).
+
+The classic functor/monoid laws that make lazy pipelines refactorable:
+map fusion, filter composition, flat_map via map+flatten, union
+commutativity up to multiset equality, reduce_by_key associativity.
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.spark.test_rdd_properties import run, spark_ctx
+
+
+def f(x):
+    return x * 2 + 1
+
+
+def g(x):
+    return x * x - 3
+
+
+@given(data=st.lists(st.integers(-30, 30), max_size=40),
+       parts=st.integers(1, 5))
+@settings(max_examples=20, deadline=None)
+def test_map_fusion(data, parts):
+    """map(f).map(g) == map(g . f)."""
+    env, ctx = spark_ctx()
+    fused = run(env, ctx.parallelize(data, parts)
+                .map(lambda x: g(f(x))).collect())
+    env2, ctx2 = spark_ctx()
+    chained = run(env2, ctx2.parallelize(data, parts)
+                  .map(f).map(g).collect())
+    assert Counter(fused) == Counter(chained)
+
+
+@given(data=st.lists(st.integers(-30, 30), max_size=40),
+       parts=st.integers(1, 5))
+@settings(max_examples=20, deadline=None)
+def test_filter_composition(data, parts):
+    """filter(p).filter(q) == filter(p and q)."""
+    p = lambda x: x % 2 == 0
+    q = lambda x: x > 0
+    env, ctx = spark_ctx()
+    chained = run(env, ctx.parallelize(data, parts)
+                  .filter(p).filter(q).collect())
+    env2, ctx2 = spark_ctx()
+    combined = run(env2, ctx2.parallelize(data, parts)
+                   .filter(lambda x: p(x) and q(x)).collect())
+    assert Counter(chained) == Counter(combined)
+
+
+@given(data=st.lists(st.integers(0, 20), max_size=30),
+       parts=st.integers(1, 4))
+@settings(max_examples=20, deadline=None)
+def test_flat_map_equals_map_then_flatten(data, parts):
+    expand = lambda x: [x] * (x % 3)
+    env, ctx = spark_ctx()
+    flat = run(env, ctx.parallelize(data, parts)
+               .flat_map(expand).collect())
+    expected = [y for x in data for y in expand(x)]
+    assert Counter(flat) == Counter(expected)
+
+
+@given(a=st.lists(st.integers(-10, 10), max_size=20),
+       b=st.lists(st.integers(-10, 10), max_size=20))
+@settings(max_examples=20, deadline=None)
+def test_union_multiset_commutative(a, b):
+    env, ctx = spark_ctx()
+    ab = run(env, ctx.parallelize(a, 2).union(
+        ctx.parallelize(b, 2)).collect())
+    env2, ctx2 = spark_ctx()
+    ba = run(env2, ctx2.parallelize(b, 2).union(
+        ctx2.parallelize(a, 2)).collect())
+    assert Counter(ab) == Counter(ba) == Counter(a) + Counter(b)
+
+
+@given(pairs=st.lists(st.tuples(st.sampled_from("abc"),
+                                st.integers(-10, 10)), max_size=30),
+       parts=st.integers(1, 4))
+@settings(max_examples=20, deadline=None)
+def test_reduce_by_key_partition_invariant(pairs, parts):
+    """The result must not depend on the partition count."""
+    env, ctx = spark_ctx()
+    one = dict(run(env, ctx.parallelize(pairs, 1)
+                   .reduce_by_key(lambda a, b: a + b).collect()))
+    env2, ctx2 = spark_ctx()
+    many = dict(run(env2, ctx2.parallelize(pairs, parts)
+                    .reduce_by_key(lambda a, b: a + b).collect()))
+    assert one == many
+
+
+@given(data=st.lists(st.integers(0, 50), min_size=1, max_size=30))
+@settings(max_examples=20, deadline=None)
+def test_collect_preserves_input_order(data):
+    """Contiguous slicing: collect returns the original order."""
+    env, ctx = spark_ctx()
+    assert run(env, ctx.parallelize(data, 4).collect()) == data

@@ -1,0 +1,105 @@
+"""Property-based tests: RDD semantics vs plain-Python reference."""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Machine, stampede
+from repro.sim import Environment
+from repro.spark import SparkConf, SparkStandaloneCluster
+
+
+def spark_ctx():
+    env = Environment()
+    machine = Machine(env, stampede(num_nodes=2))
+    cluster = SparkStandaloneCluster(env, machine, machine.nodes)
+    holder = {}
+
+    def boot():
+        yield env.process(cluster.start())
+        holder["ctx"] = (yield from cluster.context(
+            SparkConf(num_executors=2, executor_cores=2)))
+
+    env.run(env.process(boot()))
+    return env, holder["ctx"]
+
+
+def run(env, gen):
+    return env.run(env.process(gen))
+
+
+@given(data=st.lists(st.integers(-50, 50), max_size=60),
+       parts=st.integers(1, 6))
+@settings(max_examples=25, deadline=None)
+def test_collect_is_multiset_identity(data, parts):
+    env, ctx = spark_ctx()
+    got = run(env, ctx.parallelize(data, parts).collect())
+    assert Counter(got) == Counter(data)
+
+
+@given(data=st.lists(st.integers(-50, 50), max_size=60),
+       parts=st.integers(1, 6))
+@settings(max_examples=25, deadline=None)
+def test_map_matches_builtin(data, parts):
+    env, ctx = spark_ctx()
+    got = run(env, ctx.parallelize(data, parts).map(lambda x: x * x + 1)
+              .collect())
+    assert Counter(got) == Counter(x * x + 1 for x in data)
+
+
+@given(data=st.lists(st.integers(-50, 50), max_size=60),
+       parts=st.integers(1, 6))
+@settings(max_examples=25, deadline=None)
+def test_filter_matches_builtin(data, parts):
+    env, ctx = spark_ctx()
+    got = run(env, ctx.parallelize(data, parts).filter(lambda x: x % 3 == 0)
+              .collect())
+    assert Counter(got) == Counter(x for x in data if x % 3 == 0)
+
+
+@given(pairs=st.lists(st.tuples(st.sampled_from("abcde"),
+                                st.integers(-20, 20)), max_size=60),
+       parts=st.integers(1, 6))
+@settings(max_examples=25, deadline=None)
+def test_reduce_by_key_matches_counter(pairs, parts):
+    env, ctx = spark_ctx()
+    got = dict(run(env, ctx.parallelize(pairs, parts)
+                   .reduce_by_key(lambda a, b: a + b).collect()))
+    expected = {}
+    for k, v in pairs:
+        expected[k] = expected.get(k, 0) + v
+    assert got == expected
+
+
+@given(pairs=st.lists(st.tuples(st.sampled_from("abc"),
+                                st.integers(0, 9)), max_size=40),
+       parts=st.integers(1, 4))
+@settings(max_examples=25, deadline=None)
+def test_group_by_key_matches_reference(pairs, parts):
+    env, ctx = spark_ctx()
+    got = {k: sorted(v) for k, v in
+           run(env, ctx.parallelize(pairs, parts).group_by_key().collect())}
+    expected = {}
+    for k, v in pairs:
+        expected.setdefault(k, []).append(v)
+    assert got == {k: sorted(v) for k, v in expected.items()}
+
+
+@given(data=st.lists(st.integers(0, 100), min_size=1, max_size=50),
+       parts=st.integers(1, 5))
+@settings(max_examples=25, deadline=None)
+def test_count_and_reduce_consistent(data, parts):
+    env, ctx = spark_ctx()
+    rdd = ctx.parallelize(data, parts)
+    assert run(env, rdd.count()) == len(data)
+    assert run(env, rdd.reduce(lambda a, b: a + b)) == sum(data)
+
+
+@given(data=st.lists(st.integers(0, 20), max_size=40),
+       parts=st.integers(1, 4))
+@settings(max_examples=25, deadline=None)
+def test_distinct_matches_set(data, parts):
+    env, ctx = spark_ctx()
+    got = run(env, ctx.parallelize(data, parts).distinct().collect())
+    assert sorted(got) == sorted(set(data))

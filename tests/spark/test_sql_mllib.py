@@ -1,0 +1,166 @@
+"""Tests for the DataFrame layer and MLlib-lite."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import generate_points, kmeans_reference
+from repro.spark import (
+    KMeansModel,
+    LinearRegressionModel,
+    col_stats,
+    create_dataframe,
+)
+from tests.spark.test_spark_extended import make_spark, run
+
+ROWS = [
+    {"city": "austin", "temp": 35, "rain": 2},
+    {"city": "austin", "temp": 39, "rain": 0},
+    {"city": "lubbock", "temp": 31, "rain": 1},
+    {"city": "austin", "temp": 37, "rain": 4},
+    {"city": "lubbock", "temp": 29, "rain": 3},
+]
+
+
+# -------------------------------------------------------------- DataFrame
+def test_select_and_collect():
+    env, cluster, ctx, _ = make_spark()
+    df = create_dataframe(ctx, ROWS, 2).select("city", "temp")
+    rows = run(env, df.collect())
+    assert all(set(r) == {"city", "temp"} for r in rows)
+    assert len(rows) == 5
+
+
+def test_where_and_count():
+    env, cluster, ctx, _ = make_spark()
+    df = create_dataframe(ctx, ROWS, 2).where(lambda r: r["temp"] > 32)
+    assert run(env, df.count()) == 3
+
+
+def test_with_column():
+    env, cluster, ctx, _ = make_spark()
+    df = create_dataframe(ctx, ROWS, 2).with_column(
+        "temp_f", lambda r: r["temp"] * 9 / 5 + 32)
+    rows = run(env, df.collect())
+    assert all(r["temp_f"] == r["temp"] * 9 / 5 + 32 for r in rows)
+
+
+def test_group_by_agg():
+    env, cluster, ctx, _ = make_spark()
+    df = create_dataframe(ctx, ROWS, 2).group_by("city").agg(
+        {"temp": "avg", "rain": "sum"})
+    out = {r["city"]: r for r in run(env, df.collect())}
+    assert out["austin"]["temp_avg"] == pytest.approx(37.0)
+    assert out["austin"]["rain_sum"] == 6
+    assert out["lubbock"]["temp_avg"] == pytest.approx(30.0)
+    assert out["lubbock"]["rain_sum"] == 4
+
+
+def test_group_by_count():
+    env, cluster, ctx, _ = make_spark()
+    df = create_dataframe(ctx, ROWS, 2).group_by("city").count()
+    out = {r["city"]: r["count"] for r in run(env, df.collect())}
+    assert out == {"austin": 3, "lubbock": 2}
+
+
+def test_join():
+    env, cluster, ctx, _ = make_spark()
+    population = [{"city": "austin", "pop": 980_000},
+                  {"city": "lubbock", "pop": 260_000}]
+    df = create_dataframe(ctx, ROWS, 2).join(
+        create_dataframe(ctx, population, 1), on="city")
+    rows = run(env, df.collect())
+    assert len(rows) == 5
+    assert all("pop" in r and "temp" in r for r in rows)
+
+
+def test_order_by():
+    env, cluster, ctx, _ = make_spark()
+    df = create_dataframe(ctx, ROWS, 3).order_by("temp")
+    temps = [r["temp"] for r in run(env, df.collect())]
+    assert temps == sorted(temps)
+
+
+def test_show_renders_table():
+    env, cluster, ctx, _ = make_spark()
+    df = create_dataframe(ctx, ROWS, 2)
+    text = run(env, df.show(3))
+    assert "city" in text and "temp" in text
+    assert len(text.splitlines()) == 5  # header + sep + 3 rows
+
+
+def test_unknown_aggregate_rejected():
+    env, cluster, ctx, _ = make_spark()
+    with pytest.raises(ValueError, match="aggregate"):
+        create_dataframe(ctx, ROWS, 1).group_by("city").agg(
+            {"temp": "median"})
+
+
+def test_non_dict_rows_rejected():
+    env, cluster, ctx, _ = make_spark()
+    with pytest.raises(TypeError, match="dicts"):
+        create_dataframe(ctx, [1, 2, 3], 1)
+
+
+# ------------------------------------------------------------------ MLlib
+def test_mllib_kmeans_matches_reference():
+    env, cluster, ctx, _ = make_spark()
+    points = generate_points(300, 4, seed=6)
+    rdd = ctx.parallelize([p for p in points], 4)
+    model = run(env, KMeansModel.train(rdd, 4, iterations=3))
+    expected = kmeans_reference(points, 4, iterations=3)
+    assert np.allclose(model.centroids, expected)
+    assert model.predict(expected[2]) == 2
+
+
+def test_mllib_kmeans_validation():
+    env, cluster, ctx, _ = make_spark()
+    rdd = ctx.parallelize([[0.0, 0.0]], 1)
+    with pytest.raises(ValueError):
+        run(env, KMeansModel.train(rdd, 0))
+    with pytest.raises(ValueError, match="at least k"):
+        run(env, KMeansModel.train(rdd, 5))
+
+
+def test_linear_regression_recovers_coefficients():
+    env, cluster, ctx, _ = make_spark()
+    rng = np.random.default_rng(4)
+    X = rng.uniform(-1, 1, size=(200, 3))
+    true_w = np.array([2.0, -1.0, 0.5])
+    y = X @ true_w + 3.0 + rng.normal(0, 0.001, size=200)
+    rows = [(x, float(label)) for x, label in zip(X, y)]
+    model = run(env, LinearRegressionModel.train(
+        ctx.parallelize(rows, 4)))
+    assert np.allclose(model.weights[:3], true_w, atol=0.01)
+    assert model.weights[3] == pytest.approx(3.0, abs=0.01)
+    assert model.predict([1.0, 1.0, 1.0]) == pytest.approx(4.5, abs=0.05)
+
+
+def test_linear_regression_matches_numpy_lstsq():
+    env, cluster, ctx, _ = make_spark()
+    rng = np.random.default_rng(8)
+    X = rng.uniform(size=(50, 2))
+    y = rng.uniform(size=50)
+    rows = [(x, float(label)) for x, label in zip(X, y)]
+    model = run(env, LinearRegressionModel.train(
+        ctx.parallelize(rows, 3)))
+    Xb = np.hstack([X, np.ones((50, 1))])
+    expected, *_ = np.linalg.lstsq(Xb, y, rcond=None)
+    assert np.allclose(model.weights, expected, atol=1e-8)
+
+
+def test_col_stats_matches_numpy():
+    env, cluster, ctx, _ = make_spark()
+    rng = np.random.default_rng(2)
+    X = rng.uniform(size=(120, 3))
+    stats = run(env, col_stats(ctx.parallelize([r for r in X], 5)))
+    assert stats.count == 120
+    assert np.allclose(stats.mean, X.mean(axis=0))
+    assert np.allclose(stats.variance, X.var(axis=0, ddof=1))
+    assert np.allclose(stats.min, X.min(axis=0))
+    assert np.allclose(stats.max, X.max(axis=0))
+
+
+def test_col_stats_empty_rejected():
+    env, cluster, ctx, _ = make_spark()
+    with pytest.raises(ValueError, match="empty"):
+        run(env, col_stats(ctx.parallelize([], 2)))
