@@ -7,9 +7,18 @@ Usage::
     python -m repro ablations            # A1-A3
     python -m repro sensitivity          # the Lustre-bandwidth sweep
     python -m repro all [--quick]        # everything above
+    python -m repro trace [--out DIR]    # one traced K-Means run
 
 ``--quick`` restricts Figure 6 to the smallest and largest scenarios
 at 8 and 32 tasks (8 cells instead of 36).
+
+``trace`` runs a single telemetry-enabled K-Means cell and writes
+Chrome ``trace_event`` JSON (Perfetto/chrome://tracing), span, event
+and metrics files — see :mod:`repro.telemetry`.
+
+``main`` returns the process exit code (0 success, 2 usage errors)
+instead of raising ``SystemExit``, so it doubles as the console-script
+entry point.
 """
 
 from __future__ import annotations
@@ -78,29 +87,72 @@ def _sensitivity() -> None:
         print(f"crossover at ~{crossover / 1e6:.0f} MB/s")
 
 
-def main(argv=None) -> int:
+def _trace(args: argparse.Namespace) -> int:
+    from repro.telemetry.runner import format_report, run_traced_kmeans
+    try:
+        run = run_traced_kmeans(
+            machine=args.machine, flavor=args.flavor, points=args.points,
+            clusters=args.clusters, ntasks=args.ntasks,
+            iterations=args.iterations, seed=args.seed, out_dir=args.out)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_report(run))
+    return 0 if run.centroids_ok else 1
+
+
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the paper's experiments on the "
                     "simulated testbed.")
-    parser.add_argument("experiment",
-                        choices=["figure5", "figure6", "ablations",
-                                 "sensitivity", "all"],
-                        help="which experiment to run")
-    parser.add_argument("--quick", action="store_true",
-                        help="figure6: run a reduced 8-cell grid")
-    args = parser.parse_args(argv)
+    sub = parser.add_subparsers(dest="command", required=True,
+                                metavar="command")
 
-    if args.experiment in ("figure5", "all"):
+    for name in ("figure5", "figure6", "ablations", "sensitivity", "all"):
+        p = sub.add_parser(name, help=f"run the {name} experiment(s)")
+        if name in ("figure6", "all"):
+            p.add_argument("--quick", action="store_true",
+                           help="figure6: run a reduced 8-cell grid")
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one telemetry-enabled K-Means cell and export traces")
+    trace.add_argument("--machine", default="stampede",
+                       choices=["stampede", "wrangler"])
+    trace.add_argument("--flavor", default="RP-YARN",
+                       choices=["RP", "RP-YARN"],
+                       help="plain pilot (fork) or Mode I YARN pilot")
+    trace.add_argument("--points", type=int, default=10_000)
+    trace.add_argument("--clusters", type=int, default=8)
+    trace.add_argument("--ntasks", type=int, default=8)
+    trace.add_argument("--iterations", type=int, default=2)
+    trace.add_argument("--seed", type=int, default=42)
+    trace.add_argument("--out", default=None, metavar="DIR",
+                       help="write trace.json / spans.jsonl / "
+                            "events.jsonl / metrics.jsonl here")
+    return parser
+
+
+def main(argv=None) -> int:
+    try:
+        args = _build_parser().parse_args(argv)
+    except SystemExit as exc:  # bad args (or --help): report, don't raise
+        code = exc.code
+        return code if isinstance(code, int) else 2
+
+    if args.command == "trace":
+        return _trace(args)
+    if args.command in ("figure5", "all"):
         _figure5()
         print()
-    if args.experiment in ("figure6", "all"):
+    if args.command in ("figure6", "all"):
         _figure6(args.quick)
         print()
-    if args.experiment in ("ablations", "all"):
+    if args.command in ("ablations", "all"):
         _ablations()
         print()
-    if args.experiment in ("sensitivity", "all"):
+    if args.command in ("sensitivity", "all"):
         _sensitivity()
     return 0
 

@@ -56,6 +56,7 @@ class Agent:
         self.backend = None
         self._unit_procs: List = []
         self._claimed: set = set()
+        self._pilot_span = None
 
     # ------------------------------------------------------------- payload
     def payload(self):
@@ -75,13 +76,31 @@ class Agent:
     def _advance_pilot(self, state: PilotState, **extra) -> None:
         advance_doc(self._pilots(), self.pilot_uid, state, self.env.now,
                     **extra)
+        tel = self.env.telemetry
+        if tel is not None:
+            tel.emit("pilot", "state", uid=self.pilot_uid,
+                     state=state.value,
+                     agent_info=extra.get("agent_info"))
 
     def _advance_unit(self, uid: str, state: UnitState, **extra) -> None:
         advance_doc(self._units(), uid, state, self.env.now, **extra)
+        tel = self.env.telemetry
+        if tel is not None:
+            tel.emit("unit", "state", uid=uid, pilot=self.pilot_uid,
+                     state=state.value)
 
     # ----------------------------------------------------------- main loop
     def _run(self, batch_job: BatchJob):
         final_state = PilotState.DONE
+        tel = self.env.telemetry
+        boot_span = None
+        if tel is not None:
+            self._pilot_span = tel.tracer.begin(
+                self.pilot_uid, cat="pilot",
+                track=f"pilot {self.pilot_uid}", lrm=self.config.lrm,
+                nodes=self.description.nodes)
+            boot_span = tel.tracer.begin(
+                "agent.bootstrap", cat="agent", parent=self._pilot_span)
         try:
             self._advance_pilot(PilotState.PENDING_ACTIVE)
             # 1. bootstrap + DB connect
@@ -96,6 +115,9 @@ class Agent:
                                 self.config)
             yield from self.lrm.initialize(batch_job)
             self.backend = make_backend(self.lrm, self.env, self.config)
+            if tel is not None:
+                tel.tracer.end(boot_span, lrm=self.lrm.name,
+                               lrm_setup_seconds=self.lrm.setup_seconds)
             # 3. go ACTIVE
             self._advance_pilot(
                 PilotState.ACTIVE,
@@ -114,6 +136,14 @@ class Agent:
                 self._claim_new_units()
                 self._pilots().update_one({"_id": self.pilot_uid},
                                           {"heartbeat": self.env.now})
+                if tel is not None:
+                    in_flight = sum(1 for p in self._unit_procs
+                                    if p.is_alive)
+                    tel.emit("agent", "heartbeat", pilot=self.pilot_uid,
+                             claimed=len(self._claimed),
+                             in_flight=in_flight)
+                    tel.gauge("agent.inflight_units",
+                              pilot=self.pilot_uid).set(in_flight)
                 yield self.env.timeout(self.config.db_poll_interval)
         except Interrupt:
             # walltime (RMS) or hard cancel
@@ -149,28 +179,56 @@ class Agent:
         uid = doc["_id"]
         desc = doc["description"]
         allocation = None
+        tel = self.env.telemetry
+        unit_span = None
+        phase_box = [None]
+
+        def _phase(name: Optional[str]) -> None:
+            """Close the current phase span and open the next one."""
+            if tel is None:
+                return
+            if phase_box[0] is not None:
+                tel.tracer.end(phase_box[0])
+            phase_box[0] = None if name is None else tel.tracer.begin(
+                name, cat="unit.phase", parent=unit_span, track=uid)
+
+        if tel is not None:
+            unit_span = tel.tracer.begin(
+                uid, cat="unit", parent=self._pilot_span, track=uid,
+                pilot=self.pilot_uid, cores=desc.cores)
+
+        def _on_start() -> None:
+            self._advance_unit(uid, UnitState.EXECUTING)
+            _phase("execute")
+
         try:
             # stage-in
             self._advance_unit(uid, UnitState.AGENT_STAGING_INPUT)
+            _phase("stage_in")
             for path, nbytes in desc.input_staging:
                 if not self.site.scratch.exists(path):
                     raise ExecutionError(f"stage-in missing: {path}")
                 yield self.site.scratch.read(path)
             # agent scheduling
             self._advance_unit(uid, UnitState.AGENT_SCHEDULING)
+            _phase("schedule")
+            t_request = self.env.now
             allocation = yield self.backend.schedule(desc)
+            if tel is not None:
+                tel.histogram("agent.allocation_latency",
+                              backend=self.backend.name).observe(
+                    self.env.now - t_request)
             # executing — the EXECUTING transition fires when the task
             # process actually starts (inside the YARN container for
             # the YARN backend), so unit.startup_time measures the full
             # submission-to-execution latency of Figure 5's inset.
             result = yield from self.backend.execute(
-                desc, allocation,
-                on_start=lambda: self._advance_unit(
-                    uid, UnitState.EXECUTING))
+                desc, allocation, on_start=_on_start, span=unit_span)
             self.backend.release(allocation)
             allocation = None
             # stage-out
             self._advance_unit(uid, UnitState.AGENT_STAGING_OUTPUT)
+            _phase("stage_out")
             for path, nbytes in desc.output_staging:
                 if self.site.scratch.exists(path):
                     self.site.scratch.delete(path)
@@ -188,6 +246,12 @@ class Agent:
         finally:
             if allocation is not None:
                 self.backend.release(allocation)
+            _phase(None)
+            if tel is not None:
+                doc_now = self._units().find_one({"_id": uid})
+                tel.tracer.end(unit_span,
+                               final_state=doc_now["state"] if doc_now
+                               else None)
 
     # -------------------------------------------------------------- teardown
     def _teardown(self, final_state: PilotState):
@@ -201,6 +265,9 @@ class Agent:
         doc = self._pilots().find_one({"_id": self.pilot_uid})
         if doc and not self._is_final(doc["state"]):
             self._advance_pilot(final_state)
+        tel = self.env.telemetry
+        if tel is not None and self._pilot_span is not None:
+            tel.tracer.end(self._pilot_span, final_state=final_state.value)
 
     @staticmethod
     def _is_final(state_value: str) -> bool:

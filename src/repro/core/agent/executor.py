@@ -73,57 +73,70 @@ class ForkBackend:
         self.scheduler.release(allocation)
 
     def execute(self, unit_desc: ComputeUnitDescription,
-                allocation: SlotAllocation, on_start=None):
+                allocation: SlotAllocation, on_start=None, span=None):
         """Run a unit.  Generator returning the payload's result.
 
         ``on_start`` fires when the task process actually begins (after
         spawner/launch-method overhead) — the Compute-Unit startup
-        marker of Figure 5's inset.
+        marker of Figure 5's inset.  ``span`` is the unit's trace span;
+        the task gets a child span covering launch through completion.
         """
         method = unit_desc.launch_method or (
             "mpiexec" if len(allocation.assignments) > 1 else "fork")
         if method not in LAUNCH_OVERHEAD:
             raise ExecutionError(f"unknown launch method {method!r}")
-        yield self.env.timeout(LAUNCH_OVERHEAD[method]
-                               + self.config.spawn_overhead_seconds)
-        if method == "docker":
-            # containers ship their environment inside the image: pull
-            # once per node (cached), skip the Lustre environment load
-            image_node = allocation.primary_node
-            if image_node.name not in self._docker_image_cache:
-                yield self.env.timeout(
-                    self.lrm.site.machine.download_seconds(
-                        DOCKER_IMAGE_BYTES))
-                yield image_node.local_disk.write(DOCKER_IMAGE_BYTES)
-                self._docker_image_cache.add(image_node.name)
-        elif self.config.task_environment_bytes > 0:
-            # interpreter + imports come off the shared filesystem —
-            # heavily contended when a task wave starts together
-            yield self.shared_fs.read(self.config.task_environment_bytes)
-        if on_start is not None:
-            on_start()
-
-        node = allocation.primary_node
-        memory = (unit_desc.memory_mb
-                  or self.config.default_unit_memory_mb) * MB
-        memory = min(memory, node.memory_bytes)
-        yield node.memory.get(memory)
+        tel = self.env.telemetry
+        task_span = None
+        if tel is not None:
+            task_span = tel.tracer.begin(
+                "task", cat="container", parent=span, method=method,
+                node=allocation.primary_node.name)
         try:
-            if unit_desc.input_bytes > 0:
-                if unit_desc.input_tier == "memory":
-                    yield node.memory_fs.read(unit_desc.input_bytes)
-                else:
-                    yield self.shared_fs.read(unit_desc.input_bytes)
-            if unit_desc.cpu_seconds > 0:
-                speedup = allocation.total_cores
-                yield self.env.timeout(node.compute_seconds(
-                    unit_desc.cpu_seconds / speedup))
-            result = _run_payload(unit_desc)
-            if unit_desc.output_bytes > 0:
-                yield self.shared_fs.write(unit_desc.output_bytes)
-                self.shared_fs.delete(unit_desc.output_bytes)
+            yield self.env.timeout(LAUNCH_OVERHEAD[method]
+                                   + self.config.spawn_overhead_seconds)
+            if method == "docker":
+                # containers ship their environment inside the image:
+                # pull once per node (cached), skip the Lustre
+                # environment load
+                image_node = allocation.primary_node
+                if image_node.name not in self._docker_image_cache:
+                    yield self.env.timeout(
+                        self.lrm.site.machine.download_seconds(
+                            DOCKER_IMAGE_BYTES))
+                    yield image_node.local_disk.write(DOCKER_IMAGE_BYTES)
+                    self._docker_image_cache.add(image_node.name)
+            elif self.config.task_environment_bytes > 0:
+                # interpreter + imports come off the shared filesystem —
+                # heavily contended when a task wave starts together
+                yield self.shared_fs.read(
+                    self.config.task_environment_bytes)
+            if on_start is not None:
+                on_start()
+
+            node = allocation.primary_node
+            memory = (unit_desc.memory_mb
+                      or self.config.default_unit_memory_mb) * MB
+            memory = min(memory, node.memory_bytes)
+            yield node.memory.get(memory)
+            try:
+                if unit_desc.input_bytes > 0:
+                    if unit_desc.input_tier == "memory":
+                        yield node.memory_fs.read(unit_desc.input_bytes)
+                    else:
+                        yield self.shared_fs.read(unit_desc.input_bytes)
+                if unit_desc.cpu_seconds > 0:
+                    speedup = allocation.total_cores
+                    yield self.env.timeout(node.compute_seconds(
+                        unit_desc.cpu_seconds / speedup))
+                result = _run_payload(unit_desc)
+                if unit_desc.output_bytes > 0:
+                    yield self.shared_fs.write(unit_desc.output_bytes)
+                    self.shared_fs.delete(unit_desc.output_bytes)
+            finally:
+                yield node.memory.put(memory)
         finally:
-            yield node.memory.put(memory)
+            if tel is not None:
+                tel.tracer.end(task_span)
         return result
 
     def teardown(self):
@@ -164,13 +177,15 @@ class YarnBackend:
         self.scheduler.release(allocation)
 
     def execute(self, unit_desc: ComputeUnitDescription,
-                allocation: SlotAllocation, on_start=None):
+                allocation: SlotAllocation, on_start=None, span=None):
         """Run a unit via the RP Application Master.  Generator.
 
         ``on_start`` fires inside the YARN container once the wrapper
         script hands control to the unit executable — so the startup
         metric includes the client JVM, the AM allocation and the task
         container launch (the two-phase overhead of Figure 5's inset).
+        ``span`` is the unit's trace span; the YARN container becomes a
+        child span on the same track.
         """
         memory_mb = (unit_desc.memory_mb
                      or self.config.default_unit_memory_mb)
@@ -178,25 +193,37 @@ class YarnBackend:
 
         def container_payload(env, container):
             # The wrapper script: set up the RP environment, stage, run.
-            yield env.timeout(self.config.spawn_overhead_seconds)
-            node = self.machine.node_by_name(container.node_name)
-            if self.config.task_environment_bytes > 0:
-                # localized environment: read from the node's own disk
-                yield node.local_disk.read(
-                    self.config.task_environment_bytes)
-            if on_start is not None:
-                on_start()
-            if unit_desc.input_bytes > 0:
-                tier = (node.memory_fs if unit_desc.input_tier == "memory"
-                        else node.local_disk)
-                yield tier.read(unit_desc.input_bytes)
-            if unit_desc.cpu_seconds > 0:
-                yield env.timeout(node.compute_seconds(
-                    unit_desc.cpu_seconds / unit_desc.cores))
-            box["result"] = _run_payload(unit_desc)
-            if unit_desc.output_bytes > 0:
-                yield node.local_disk.write(unit_desc.output_bytes)
-                node.local_disk.delete(unit_desc.output_bytes)
+            tel = env.telemetry
+            cspan = None
+            if tel is not None:
+                cspan = tel.tracer.begin(
+                    "container", cat="container", parent=span,
+                    container_id=container.container_id,
+                    node=container.node_name)
+            try:
+                yield env.timeout(self.config.spawn_overhead_seconds)
+                node = self.machine.node_by_name(container.node_name)
+                if self.config.task_environment_bytes > 0:
+                    # localized environment: read from the node's disk
+                    yield node.local_disk.read(
+                        self.config.task_environment_bytes)
+                if on_start is not None:
+                    on_start()
+                if unit_desc.input_bytes > 0:
+                    tier = (node.memory_fs
+                            if unit_desc.input_tier == "memory"
+                            else node.local_disk)
+                    yield tier.read(unit_desc.input_bytes)
+                if unit_desc.cpu_seconds > 0:
+                    yield env.timeout(node.compute_seconds(
+                        unit_desc.cpu_seconds / unit_desc.cores))
+                box["result"] = _run_payload(unit_desc)
+                if unit_desc.output_bytes > 0:
+                    yield node.local_disk.write(unit_desc.output_bytes)
+                    node.local_disk.delete(unit_desc.output_bytes)
+            finally:
+                if tel is not None:
+                    tel.tracer.end(cspan)
 
         if self._pool is not None:
             outcome = yield from self._pool.run_unit(
@@ -239,25 +266,36 @@ class SparkBackend:
         self.scheduler.release(allocation)
 
     def execute(self, unit_desc: ComputeUnitDescription,
-                allocation: SlotAllocation, on_start=None):
-        yield self.env.timeout(LAUNCH_OVERHEAD["spark-submit"]
-                               + self.config.spawn_overhead_seconds)
-        node = allocation.primary_node
-        if self.config.task_environment_bytes > 0:
-            yield node.local_disk.read(self.config.task_environment_bytes)
-        if on_start is not None:
-            on_start()
-        if unit_desc.input_bytes > 0:
-            tier = (node.memory_fs if unit_desc.input_tier == "memory"
-                    else node.local_disk)
-            yield tier.read(unit_desc.input_bytes)
-        if unit_desc.cpu_seconds > 0:
-            yield self.env.timeout(node.compute_seconds(
-                unit_desc.cpu_seconds / allocation.total_cores))
-        result = _run_payload(unit_desc)
-        if unit_desc.output_bytes > 0:
-            yield node.local_disk.write(unit_desc.output_bytes)
-            node.local_disk.delete(unit_desc.output_bytes)
+                allocation: SlotAllocation, on_start=None, span=None):
+        tel = self.env.telemetry
+        task_span = None
+        if tel is not None:
+            task_span = tel.tracer.begin(
+                "task", cat="container", parent=span,
+                method="spark-submit", node=allocation.primary_node.name)
+        try:
+            yield self.env.timeout(LAUNCH_OVERHEAD["spark-submit"]
+                                   + self.config.spawn_overhead_seconds)
+            node = allocation.primary_node
+            if self.config.task_environment_bytes > 0:
+                yield node.local_disk.read(
+                    self.config.task_environment_bytes)
+            if on_start is not None:
+                on_start()
+            if unit_desc.input_bytes > 0:
+                tier = (node.memory_fs if unit_desc.input_tier == "memory"
+                        else node.local_disk)
+                yield tier.read(unit_desc.input_bytes)
+            if unit_desc.cpu_seconds > 0:
+                yield self.env.timeout(node.compute_seconds(
+                    unit_desc.cpu_seconds / allocation.total_cores))
+            result = _run_payload(unit_desc)
+            if unit_desc.output_bytes > 0:
+                yield node.local_disk.write(unit_desc.output_bytes)
+                node.local_disk.delete(unit_desc.output_bytes)
+        finally:
+            if tel is not None:
+                tel.tracer.end(task_span)
         return result
 
     def teardown(self):

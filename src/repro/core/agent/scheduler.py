@@ -98,18 +98,36 @@ class ContinuousScheduler:
             self._free[node.name] += cores
         self._drain()
 
+    def _report(self) -> None:
+        """Queue-depth and occupancy gauges (no-op unless installed)."""
+        tel = self.env.telemetry
+        if tel is None:
+            return
+        total = self.total_cores
+        busy = total - self.free_cores
+        tel.gauge("agent.scheduler.queue_depth",
+                  backend="continuous").set(
+            sum(1 for _, e in self._queue if not e.triggered))
+        tel.gauge("agent.executor.busy_cores",
+                  backend="continuous").set(busy)
+        tel.gauge("agent.executor.occupancy", backend="continuous").set(
+            busy / total if total else 0.0)
+
     def _drain(self) -> None:
         # FIFO, no overtaking: a blocked head blocks the queue (matches
         # RP's continuous scheduler and keeps large units from starving).
-        while self._queue:
-            cores, event = self._queue[0]
-            if event.triggered:
+        try:
+            while self._queue:
+                cores, event = self._queue[0]
+                if event.triggered:
+                    self._queue.popleft()
+                    continue
+                if cores > self.free_cores:
+                    return
                 self._queue.popleft()
-                continue
-            if cores > self.free_cores:
-                return
-            self._queue.popleft()
-            event.succeed(self._carve(cores))
+                event.succeed(self._carve(cores))
+        finally:
+            self._report()
 
     def _carve(self, cores: int) -> SlotAllocation:
         order = self.nodes
@@ -175,21 +193,40 @@ class YarnAgentScheduler:
 
     def _drain(self) -> None:
         metrics = self.cluster_state()
-        while self._queue:
-            cores, need_mb, event = self._queue[0]
-            if event.triggered:
+        try:
+            while self._queue:
+                cores, need_mb, event = self._queue[0]
+                if event.triggered:
+                    self._queue.popleft()
+                    continue
+                # Throttle against the RM-reported capacity.  Our own
+                # in-flight reservations stand in for allocations that
+                # have not manifested in the metrics yet
+                # (submission lag).
+                if (self._reserved_mb + need_mb > metrics["totalMB"]
+                        or self._reserved_cores + cores
+                        > metrics["totalVirtualCores"]):
+                    return
                 self._queue.popleft()
-                continue
-            # Throttle against the RM-reported capacity.  Our own
-            # in-flight reservations stand in for allocations that have
-            # not manifested in the metrics yet (submission lag).
-            if (self._reserved_mb + need_mb > metrics["totalMB"]
-                    or self._reserved_cores + cores
-                    > metrics["totalVirtualCores"]):
-                return
-            self._queue.popleft()
-            self._reserved_mb += need_mb
-            self._reserved_cores += cores
-            # Node placement is YARN's job; the slot is cluster-wide.
-            event.succeed(SlotAllocation([], memory_mb=need_mb,
-                                         cores=cores))
+                self._reserved_mb += need_mb
+                self._reserved_cores += cores
+                # Node placement is YARN's job; the slot is cluster-wide.
+                event.succeed(SlotAllocation([], memory_mb=need_mb,
+                                             cores=cores))
+        finally:
+            self._report(metrics)
+
+    def _report(self, metrics: Dict[str, float]) -> None:
+        """Queue-depth and occupancy gauges (no-op unless installed)."""
+        tel = self.env.telemetry
+        if tel is None:
+            return
+        tel.gauge("agent.scheduler.queue_depth", backend="yarn").set(
+            sum(1 for _, _, e in self._queue if not e.triggered))
+        tel.gauge("agent.executor.busy_cores", backend="yarn").set(
+            self._reserved_cores)
+        total = metrics["totalVirtualCores"]
+        tel.gauge("agent.executor.occupancy", backend="yarn").set(
+            self._reserved_cores / total if total else 0.0)
+        tel.gauge("agent.executor.reserved_mb", backend="yarn").set(
+            self._reserved_mb)

@@ -9,6 +9,12 @@ series the evaluation plots:
 * pilot startup decomposition;
 * concurrency over time (how many units were EXECUTING at t);
 * core utilization of a pilot by a set of units.
+
+All functions are duck-typed over "anything with ``history`` /
+``timestamp()``": client-side handles, or the live views a
+:class:`repro.telemetry.ProfilerBridge` reconstructs from the event
+stream mid-run — the same analyses work without waiting for the run
+to finish.
 """
 
 from __future__ import annotations
@@ -38,8 +44,15 @@ def unit_phases(unit: ComputeUnit) -> Dict[str, Optional[float]]:
     return out
 
 
-def phase_means(units: Iterable[ComputeUnit]) -> Dict[str, float]:
-    """Mean duration per phase over units that completed the phase."""
+def phase_means(units: Iterable[ComputeUnit]
+                ) -> Dict[str, Optional[float]]:
+    """Mean duration per phase over units that completed the phase.
+
+    Every :data:`UNIT_PHASES` label is present in the result; a phase
+    no unit completed maps to ``None`` (mirroring
+    :func:`unit_phases`), so downstream consumers can index any phase
+    without guarding for partial histories.
+    """
     sums: Dict[str, float] = {}
     counts: Dict[str, int] = {}
     for unit in units:
@@ -47,7 +60,9 @@ def phase_means(units: Iterable[ComputeUnit]) -> Dict[str, float]:
             if value is not None:
                 sums[label] = sums.get(label, 0.0) + value
                 counts[label] = counts.get(label, 0) + 1
-    return {label: sums[label] / counts[label] for label in sums}
+    return {label: sums[label] / counts[label] if counts.get(label)
+            else None
+            for label, _, _ in UNIT_PHASES}
 
 
 def pilot_startup_breakdown(pilot: ComputePilot) -> Dict[str, float]:

@@ -162,6 +162,13 @@ class UnitManager:
                 "exit_code": None,
             })
             advance_doc(col, uid, UnitState.UMGR_SCHEDULING, self.env.now)
+            tel = self.env.telemetry
+            if tel is not None:
+                tel.emit("unit", "submitted", uid=uid, pilot=pilot.uid,
+                         umgr=self.uid, cores=desc.cores)
+                tel.emit("unit", "state", uid=uid, pilot=pilot.uid,
+                         state=UnitState.UMGR_SCHEDULING.value)
+                tel.counter("umgr.units_submitted").inc()
             handles.append(unit)
         return handles
 

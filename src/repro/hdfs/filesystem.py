@@ -58,6 +58,11 @@ class HdfsClient:
             for w in writes:
                 yield w
             nn.commit_block(block, [dn.name for dn in targets])
+            tel = self.env.telemetry
+            if tel is not None:
+                # Bytes moved = every replica written (pipeline fan-out).
+                tel.counter("hdfs.bytes_written").inc(
+                    block.nbytes * len(targets))
         nn.commit_file(path, blocks)
 
     # -------------------------------------------------------------- reads
@@ -75,6 +80,9 @@ class HdfsClient:
             yield dn.read(block.block_id)
             if self.local_node is not None and dn.name != self.local_node:
                 yield self.network.send(dn.name, self.local_node, block.nbytes)
+            tel = self.env.telemetry
+            if tel is not None:
+                tel.counter("hdfs.bytes_read").inc(block.nbytes)
             payloads.append(block.payload)
         return payloads
 

@@ -179,6 +179,10 @@ class NameNode:
 
     def commit_file(self, path: str, blocks: List[Block]) -> None:
         self.files[path] = FileMeta(path=path, blocks=list(blocks))
+        tel = self.env.telemetry
+        if tel is not None:
+            tel.emit("hdfs", "file_committed", path=path,
+                     nbytes=self.files[path].nbytes, blocks=len(blocks))
 
     def block_locations(self, path: str) -> List[BlockReplica]:
         """All replicas of all blocks of a file (locality info)."""
@@ -197,6 +201,9 @@ class NameNode:
                 if dn is not None:
                     dn.drop(block.block_id)
         del self.files[path]
+        tel = self.env.telemetry
+        if tel is not None:
+            tel.emit("hdfs", "file_deleted", path=path)
 
     # --------------------------------------------------------- replication
     def under_replicated(self) -> List[Block]:
@@ -239,3 +246,10 @@ class NameNode:
             self.block_map[block.block_id] = [
                 n for n in self.block_map[block.block_id] if n != node_name
             ] + [target.name]
+            tel = self.env.telemetry
+            if tel is not None:
+                tel.counter("hdfs.bytes_rereplicated").inc(block.nbytes)
+                tel.emit("hdfs", "rereplicated",
+                         block_id=block.block_id, nbytes=block.nbytes,
+                         source=source_dn.name, target=target.name,
+                         lost_node=node_name)

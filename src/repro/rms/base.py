@@ -139,7 +139,17 @@ class BatchScheduler:
         job.advance(JobState.PENDING)
         job.submit_time = self.env.now
         self._queue.append(job)
+        self._report_queue()
         self._kick_scheduler()
+
+    def _report_queue(self) -> None:
+        """Batch-queue depth and free-node gauges (opt-in telemetry)."""
+        tel = self.env.telemetry
+        if tel is None:
+            return
+        tel.gauge("rms.queue_depth", rms=self.kind).set(len(self._queue))
+        tel.gauge("rms.free_nodes", rms=self.kind).set(
+            len(self._free_nodes))
 
     def _kick_scheduler(self) -> None:
         if not self._kick.triggered:
@@ -165,6 +175,7 @@ class BatchScheduler:
                 if fits:
                     self._queue.remove(job)
                     self._dispatch(job)
+                    self._report_queue()
                     started = True
                     break
                 if index == 0 and not self.config.backfill:
@@ -226,6 +237,7 @@ class BatchScheduler:
         if job.allocation is not None:
             self._free_nodes.extend(job.allocation.nodes)
             job.allocation_released = True
+            self._report_queue()
 
     # -------------------------------------------------------- RMS dialects
     def export_environment(self, job: BatchJob) -> Dict[str, str]:

@@ -98,6 +98,11 @@ class BatchJob:
                 f"{new_state.value} for {self.job_id}")
         self.state = new_state
         self._history.append((self.env.now, new_state))
+        tel = self.env.telemetry
+        if tel is not None:
+            tel.emit("rms", "job_state", uid=self.job_id,
+                     state=new_state.value,
+                     nodes=self.description.num_nodes)
         if new_state is JobState.RUNNING:
             self.start_time = self.env.now
             self.started.succeed(self)

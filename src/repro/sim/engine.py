@@ -284,7 +284,16 @@ class AllOf(Condition):
 
 
 class Environment:
-    """The simulation environment: clock + event queue + process spawner."""
+    """The simulation environment: clock + event queue + process spawner.
+
+    ``telemetry`` is the optional observability hub
+    (:func:`repro.telemetry.install` sets it); the class-level ``None``
+    default keeps the disabled-path cost of every instrumentation hook
+    to a single attribute load and branch.
+    """
+
+    #: Set by :func:`repro.telemetry.install`; ``None`` = disabled.
+    telemetry = None
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)

@@ -38,6 +38,8 @@ class AmContext:
     def add_container_request(self, request: ContainerRequest) -> None:
         """Queue one container ask with the RM scheduler."""
         request.resource = self.rm._normalize(request.resource)
+        if request.requested_at is None:
+            request.requested_at = self.env.now
         self.app.pending.append(request)
 
     def request_containers(self, count: int, resource: YarnResource,

@@ -98,6 +98,18 @@ class NodeManager:
                 f"container {container.container_id} is "
                 f"{container.state.value}, cannot launch")
         done = Event(self.env)
+        tel = self.env.telemetry
+        if tel is not None:
+            tel.emit("yarn", "container_start",
+                     container_id=container.container_id, node=self.name,
+                     app=container.app_id)
+
+        def _finish_event() -> None:
+            if tel is not None:
+                tel.emit("yarn", "container_finished",
+                         container_id=container.container_id,
+                         node=self.name, app=container.app_id,
+                         state=container.state.value)
 
         def _runner():
             try:
@@ -105,9 +117,11 @@ class NodeManager:
             except Interrupt:
                 # Killed/released during localization: state was already
                 # finalized by kill_container.
+                _finish_event()
                 done.succeed(container)
                 return
             if container.state.is_final:   # killed during launch
+                _finish_event()
                 done.succeed(container)
                 return
             container.state = ContainerState.RUNNING
@@ -129,6 +143,7 @@ class NodeManager:
                 container.diagnostics = ""
                 container.result = result
             self._release(container)
+            _finish_event()
             if on_complete is not None:
                 on_complete(container)
             done.succeed(container)
@@ -154,6 +169,11 @@ class NodeManager:
 
     def fail(self) -> None:
         """Crash the NM: all containers die with it."""
+        tel = self.env.telemetry
+        if tel is not None:
+            tel.emit("yarn", "node_failed", node=self.name,
+                     containers=len(self.containers))
+            tel.counter("yarn.nm.failures").inc()
         for container in list(self.containers.values()):
             self.kill_container(container.container_id,
                                 ContainerState.KILLED, "NM lost")

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -78,6 +78,9 @@ class ContainerRequest:
     relax_locality: bool = True
     #: internal: scheduling opportunities this request has been skipped
     missed_opportunities: int = field(default=0, compare=False)
+    #: internal: sim time the request was queued with the RM scheduler,
+    #: stamped at enqueue; feeds the container-allocation-latency metric
+    requested_at: Optional[float] = field(default=None, compare=False)
 
 
 class Container:

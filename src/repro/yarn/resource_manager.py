@@ -11,9 +11,9 @@ from __future__ import annotations
 
 import itertools
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional
 
-from repro.sim.engine import Environment, Event
+from repro.sim.engine import Environment
 from repro.yarn.config import YarnConfig
 from repro.yarn.node_manager import NodeManager
 from repro.yarn.records import (
@@ -57,6 +57,10 @@ class AppRecord:
             self.finish_time = self.env.now
             if not self.finished.triggered:
                 self.finished.succeed(self)
+        tel = self.env.telemetry
+        if tel is not None:
+            tel.emit("yarn", "app_state", uid=self.app_id,
+                     state=state.value, queue=self.queue)
 
 
 class SchedulingPolicy:
@@ -220,7 +224,8 @@ class ResourceManager:
         app.advance(ApplicationState.ACCEPTED)
         # The AM container is a pending request served by the scheduler.
         app.pending.appendleft(ContainerRequest(
-            resource=self._normalize(app.spec.am_resource)))
+            resource=self._normalize(app.spec.am_resource),
+            requested_at=self.env.now))
         app._am_pending = True
 
     def kill_application(self, app_id: str, diagnostics: str = "killed") -> None:
@@ -260,6 +265,12 @@ class ResourceManager:
         budget = self.config.max_assignments_per_heartbeat
         active = [a for a in self.apps.values() if not a.state.is_final
                   and a.pending]
+        tel = self.env.telemetry
+        if tel is not None:
+            # The RM-side scheduling backlog, sampled at every
+            # heartbeat-driven scheduling opportunity.
+            tel.gauge("yarn.rm.heartbeat_backlog").set(
+                sum(len(a.pending) for a in active))
         for app in self.policy.app_order(active):
             while app.pending and budget > 0:
                 request = app.pending[0]
@@ -293,6 +304,16 @@ class ResourceManager:
         app.usage = app.usage.plus(container.resource)
         app.live_containers[container.container_id] = container
         self.metrics_counters["containersAllocated"] += 1
+        tel = self.env.telemetry
+        if tel is not None:
+            tel.counter("yarn.rm.containers_allocated").inc()
+            tel.emit("yarn", "container_allocated",
+                     container_id=container.container_id,
+                     app=app.app_id, node=nm.name,
+                     memory_mb=container.resource.memory_mb)
+            if request.requested_at is not None:
+                tel.histogram("yarn.container.allocation_latency").observe(
+                    self.env.now - request.requested_at)
         if getattr(app, "_am_pending", False) and app.am_container is None:
             app.am_container = container
             self._launch_am(app, container)

@@ -48,6 +48,31 @@ def test_phase_means(run_units):
     assert means["execute"] == pytest.approx(20.0, rel=0.1)
 
 
+def test_phase_means_partial_histories(stack):
+    """Units stuck early in the pipeline: every phase label is still
+    present, with None for phases no unit completed."""
+    env, registry, session, pmgr, umgr = stack
+    pilot = pmgr.submit_pilot(ComputePilotDescription(
+        resource="slurm://stampede", nodes=1, runtime=600,
+        agent_config=fast_agent(bootstrap_seconds=1e6)))
+    umgr.add_pilots(pilot)
+    units = umgr.submit_units([ComputeUnitDescription(cores=1)
+                               for _ in range(3)])
+    env.run(until=10.0)  # agent never bootstraps; units wait in UMGR
+
+    means = phase_means(units)
+    assert set(means) == {"queue", "stage_in", "schedule", "execute",
+                          "stage_out"}
+    assert all(v is None for v in means.values())
+
+
+def test_phase_means_empty_iterable():
+    means = phase_means([])
+    assert set(means) == {"queue", "stage_in", "schedule", "execute",
+                          "stage_out"}
+    assert all(v is None for v in means.values())
+
+
 def test_pilot_startup_breakdown(run_units):
     env, pilot, units = run_units
     breakdown = pilot_startup_breakdown(pilot)

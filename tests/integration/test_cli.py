@@ -1,7 +1,5 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
-import pytest
-
 from repro.__main__ import main
 
 
@@ -34,5 +32,23 @@ def test_sensitivity_cli(capsys):
 
 
 def test_unknown_experiment_rejected():
-    with pytest.raises(SystemExit):
-        main(["figure7"])
+    # main() is also the console-script entry point: usage errors come
+    # back as exit code 2 rather than an escaping SystemExit.
+    assert main(["figure7"]) == 2
+
+
+def test_no_command_rejected():
+    assert main([]) == 2
+
+
+def test_bad_trace_flavor_rejected():
+    assert main(["trace", "--flavor", "MPI"]) == 2
+
+
+def test_bad_trace_values_rejected(capsys):
+    assert main(["trace", "--points", "2", "--clusters", "8"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_help_exits_zero():
+    assert main(["--help"]) == 0

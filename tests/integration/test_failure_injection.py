@@ -5,7 +5,6 @@ CPython 3.11 ``ast`` recursion-guard bug; plain asserts work fine.
 """
 
 import numpy as np
-import pytest
 
 from repro.analytics import generate_points, kmeans_reference
 from repro.analytics.kmeans import run_kmeans_mapreduce
@@ -103,7 +102,9 @@ def test_mapreduce_survives_replica_loss_between_jobs():
 
 # ------------------------------------------------ YARN NM loss mid-pilot
 def test_yarn_pilot_unit_fails_when_its_node_dies_mid_execution():
+    from repro import telemetry
     env, registry, session, pmgr, umgr = make_stack()
+    tel = telemetry.install(env)
     pilot = pmgr.submit_pilot(ComputePilotDescription(
         resource="slurm://stampede", nodes=3, runtime=600,
         agent_config=fast_agent(lrm="yarn")))
@@ -111,6 +112,9 @@ def test_yarn_pilot_unit_fails_when_its_node_dies_mid_execution():
     env.run(pilot.wait(PilotState.ACTIVE))
     units = umgr.submit_units([ComputeUnitDescription(
         cores=1, cpu_seconds=300.0) for _ in range(3)])
+    failures = []
+    tel.bus.subscribe(failures.append, categories=("yarn",),
+                      names=("node_failed",))
 
     def killer():
         yield units[0].wait(UnitState.EXECUTING)
@@ -131,6 +135,15 @@ def test_yarn_pilot_unit_fails_when_its_node_dies_mid_execution():
     # at least one unit died with its node; the agent survived
     assert "Failed" in states
     assert pilot.state is PilotState.ACTIVE
+    # the node loss surfaced on the telemetry bus, live and recorded
+    assert len(failures) == 1
+    assert failures[0].payload["containers"] >= 1
+    assert tel.bus.select("yarn", "node_failed") == failures
+    counters = tel.metrics.find("yarn.nm.failures")
+    assert sum(c.total for c in counters) == 1
+    # the doomed container's lifecycle closed out on the bus too
+    finished = tel.bus.select("yarn", "container_finished")
+    assert any(e.payload["state"] == "killed" for e in finished)
 
 
 # ------------------------------------------------- burst + mixed failures
