@@ -1,0 +1,139 @@
+"""Simulation-kernel microbenchmarks: the repo's perf baseline.
+
+Three probes, smallest to largest:
+
+* ``events_per_sec`` — raw event-loop throughput: one process yielding
+  timeouts back-to-back (timeout creation + heap push/pop + resume).
+* ``alloc_release_per_sec`` — agent-scheduler hot path: allocate /
+  release cycles against a spread-policy ContinuousScheduler.
+* ``figure5_cell_seconds`` — wall time of one end-to-end experiment
+  cell (figure5 unit-startup on a warm pilot), i.e. what a sweep pays
+  per cell.
+
+Run standalone to (re)write the committed ``BENCH_kernel.json``
+baseline::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py [--rounds N] [--out FILE]
+
+or under pytest (one quick round, sanity asserts only)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_kernel.py -q
+
+Numbers are machine-dependent; the baseline exists to make *relative*
+movement visible from PR to PR on comparable hardware.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.cluster.storage import StorageSpec
+from repro.cluster.node import Node
+from repro.core.agent.scheduler import ContinuousScheduler
+from repro.sim.engine import Environment
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+
+
+def bench_events_per_sec(n_events: int = 200_000) -> float:
+    """Timeout-churn throughput of the bare event loop."""
+    env = Environment()
+
+    def ticker():
+        timeout = env.timeout
+        for _ in range(n_events):
+            yield timeout(1.0)
+
+    env.process(ticker())
+    t0 = time.perf_counter()
+    env.run()
+    return n_events / (time.perf_counter() - t0)
+
+
+def _bench_nodes(env: Environment, count: int = 8,
+                 cores: int = 16) -> list:
+    disk = StorageSpec(name="bench-disk", aggregate_bw=1e9,
+                       per_stream_bw=1e9, latency=1e-4, capacity=1e12)
+    return [Node(env, name=f"bench-{i:02d}", cores=cores,
+                 memory_bytes=64 * 1024 ** 3, local_disk=disk)
+            for i in range(count)]
+
+
+def bench_alloc_release_per_sec(n_cycles: int = 20_000) -> float:
+    """Allocate/release cycles through the spread-policy scheduler."""
+    env = Environment()
+    scheduler = ContinuousScheduler(env, _bench_nodes(env),
+                                    policy="spread")
+
+    def worker():
+        for _ in range(n_cycles):
+            allocation = yield scheduler.allocate(4)
+            scheduler.release(allocation)
+
+    env.process(worker())
+    t0 = time.perf_counter()
+    env.run()
+    return n_cycles / (time.perf_counter() - t0)
+
+
+def bench_figure5_cell_seconds() -> float:
+    """Wall time of one end-to-end figure5 unit-startup sweep cell."""
+    from repro.experiments.sweeps import figure5_cells, run_cell
+    cell = next(c for c in figure5_cells(42) if c.kind == "unit-startup")
+    return run_cell(cell)["wall_seconds"]
+
+
+def run_benchmarks(rounds: int = 3) -> dict:
+    """Best-of-``rounds`` for each probe (higher/lower is better as
+    appropriate; best-of filters scheduler noise)."""
+    results = {
+        "events_per_sec": 0.0,
+        "alloc_release_per_sec": 0.0,
+        "figure5_cell_seconds": float("inf"),
+    }
+    for _ in range(rounds):
+        results["events_per_sec"] = max(
+            results["events_per_sec"], bench_events_per_sec())
+        results["alloc_release_per_sec"] = max(
+            results["alloc_release_per_sec"], bench_alloc_release_per_sec())
+        results["figure5_cell_seconds"] = min(
+            results["figure5_cell_seconds"], bench_figure5_cell_seconds())
+    results["rounds"] = rounds
+    return results
+
+
+# --------------------------------------------------------------- pytest
+def test_kernel_microbenchmarks_smoke():
+    """One quick round of every probe; catches import/runtime breakage."""
+    events = bench_events_per_sec(n_events=20_000)
+    allocs = bench_alloc_release_per_sec(n_cycles=2_000)
+    cell = bench_figure5_cell_seconds()
+    assert events > 0 and allocs > 0 and cell > 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="kernel microbenchmarks; writes the JSON baseline")
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--out", default=str(BASELINE_PATH), metavar="FILE",
+                        help="baseline path ('-' for stdout only)")
+    args = parser.parse_args(argv)
+
+    results = run_benchmarks(rounds=args.rounds)
+    print(f"events/sec:          {results['events_per_sec']:>12,.0f}")
+    print(f"alloc-release/sec:   {results['alloc_release_per_sec']:>12,.0f}")
+    print(f"figure5 cell (s):    {results['figure5_cell_seconds']:>12.4f}")
+    if args.out != "-":
+        with open(args.out, "w") as fh:
+            json.dump(results, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,13 +8,18 @@ Usage::
     python -m repro sensitivity          # the Lustre-bandwidth sweep
     python -m repro all [--quick]        # everything above
     python -m repro trace [--out DIR]    # one traced K-Means run
+    python -m repro sweep figure6 --jobs 4 --out results.json
 
 ``--quick`` restricts Figure 6 to the smallest and largest scenarios
-at 8 and 32 tasks (8 cells instead of 36).
+at 8 and 32 tasks (16 cells instead of 36).
 
 ``trace`` runs a single telemetry-enabled K-Means cell and writes
 Chrome ``trace_event`` JSON (Perfetto/chrome://tracing), span, event
 and metrics files — see :mod:`repro.telemetry`.
+
+``sweep`` runs a figure's cell grid over a process pool (parallel by
+default, ``--jobs 1`` for the sequential reference path) and writes a
+structured JSON result — see :mod:`repro.experiments.sweeps`.
 
 ``main`` returns the process exit code (0 success, 2 usage errors)
 instead of raising ``SystemExit``, so it doubles as the console-script
@@ -101,6 +106,29 @@ def _trace(args: argparse.Namespace) -> int:
     return 0 if run.centroids_ok else 1
 
 
+def _sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.sweeps import run_sweep
+    from repro.experiments.tables import format_table
+    try:
+        run = run_sweep(args.grid, root_seed=args.seed, jobs=args.jobs,
+                        quick=args.quick)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"sweep {run.grid}: {len(run.results)} cells, "
+          f"jobs={run.jobs}, wall {run.wall_seconds:.2f}s, "
+          f"digest {run.digest()[:12]}")
+    print(format_table(
+        ["cell", "wall (s)"],
+        [(r["key"], r["wall_seconds"]) for r in run.results]))
+    if args.out:
+        import json
+        with open(args.out, "w") as fh:
+            json.dump(run.report(), fh, indent=2, sort_keys=True)
+        print(f"wrote {args.out}")
+    return 0
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -113,7 +141,23 @@ def _build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(name, help=f"run the {name} experiment(s)")
         if name in ("figure6", "all"):
             p.add_argument("--quick", action="store_true",
-                           help="figure6: run a reduced 8-cell grid")
+                           help="figure6: run a reduced 16-cell grid")
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run an experiment grid over a process pool")
+    sweep.add_argument("grid",
+                       choices=["figure5", "figure6", "ablations",
+                                "sensitivity"])
+    sweep.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="worker processes (default: all cores; "
+                            "1 = sequential reference path)")
+    sweep.add_argument("--seed", type=int, default=42,
+                       help="root seed; per-cell seeds derive from it")
+    sweep.add_argument("--quick", action="store_true",
+                       help="figure6: run the reduced 16-cell grid")
+    sweep.add_argument("--out", default=None, metavar="FILE",
+                       help="write the structured JSON result here")
 
     trace = sub.add_parser(
         "trace",
@@ -143,6 +187,8 @@ def main(argv=None) -> int:
 
     if args.command == "trace":
         return _trace(args)
+    if args.command == "sweep":
+        return _sweep(args)
     if args.command in ("figure5", "all"):
         _figure5()
         print()

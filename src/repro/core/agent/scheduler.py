@@ -61,7 +61,7 @@ class ContinuousScheduler:
     """
 
     def __init__(self, env: Environment, nodes: List[Node],
-                 policy: str = "pack"):
+                 policy: str = "pack", debug: bool = False):
         if not nodes:
             raise SimulationError("scheduler needs nodes")
         if policy not in ("pack", "spread"):
@@ -69,33 +69,51 @@ class ContinuousScheduler:
         self.env = env
         self.nodes = list(nodes)
         self.policy = policy
+        self.debug = debug
         self._free: Dict[str, int] = {n.name: n.num_cores for n in nodes}
         self._queue: Deque[Tuple[int, Event]] = deque()
+        # Capacity totals are maintained incrementally: the node set is
+        # fixed for the scheduler's lifetime, and allocate/release are
+        # the only paths that move cores — re-summing either per call
+        # made allocate O(nodes) for no reason.
+        self._total_cores = sum(n.num_cores for n in nodes)
+        self._free_cores = self._total_cores
+        self._waiting = 0
+        # Spread-policy order cache: valid while no free count changed.
+        self._free_version = 0
+        self._order_version = -1
+        self._order: List[Node] = self.nodes
 
     @property
     def total_cores(self) -> int:
-        return sum(n.num_cores for n in self.nodes)
+        return self._total_cores
 
     @property
     def free_cores(self) -> int:
-        return sum(self._free.values())
+        return self._free_cores
 
     def allocate(self, cores: int) -> Event:
         """Request ``cores``; event fires with a :class:`SlotAllocation`."""
         if cores < 1:
             raise SimulationError("must request >= 1 core")
-        if cores > self.total_cores:
+        if cores > self._total_cores:
             raise SimulationError(
                 f"unit wants {cores} cores, allocation has "
-                f"{self.total_cores}")
+                f"{self._total_cores}")
         event = Event(self.env)
         self._queue.append((cores, event))
+        self._waiting += 1
         self._drain()
         return event
 
     def release(self, allocation: SlotAllocation) -> None:
+        free = self._free
+        returned = 0
         for node, cores in allocation.assignments:
-            self._free[node.name] += cores
+            free[node.name] += cores
+            returned += cores
+        self._free_cores += returned
+        self._free_version += 1
         self._drain()
 
     def _report(self) -> None:
@@ -103,11 +121,10 @@ class ContinuousScheduler:
         tel = self.env.telemetry
         if tel is None:
             return
-        total = self.total_cores
-        busy = total - self.free_cores
+        total = self._total_cores
+        busy = total - self._free_cores
         tel.gauge("agent.scheduler.queue_depth",
-                  backend="continuous").set(
-            sum(1 for _, e in self._queue if not e.triggered))
+                  backend="continuous").set(self._waiting)
         tel.gauge("agent.executor.busy_cores",
                   backend="continuous").set(busy)
         tel.gauge("agent.executor.occupancy", backend="continuous").set(
@@ -119,34 +136,81 @@ class ContinuousScheduler:
         try:
             while self._queue:
                 cores, event = self._queue[0]
-                if event.triggered:
+                if event._triggered:
                     self._queue.popleft()
+                    self._waiting -= 1
                     continue
-                if cores > self.free_cores:
+                if cores > self._free_cores:
                     return
                 self._queue.popleft()
+                self._waiting -= 1
                 event.succeed(self._carve(cores))
         finally:
+            if self.debug:
+                self._debug_check()
             self._report()
 
+    def _debug_check(self) -> None:
+        """Assert the incremental counters against a fresh re-summation."""
+        assert self._free_cores == sum(self._free.values()), (
+            f"free-core counter {self._free_cores} != "
+            f"map total {sum(self._free.values())}")
+        assert self._total_cores == sum(n.num_cores for n in self.nodes), (
+            "total_cores cache diverged from the node set")
+        assert 0 <= self._free_cores <= self._total_cores
+        assert self._waiting == sum(
+            1 for _, e in self._queue if not e.triggered), (
+            f"queue-depth counter {self._waiting} != "
+            f"scan {sum(1 for _, e in self._queue if not e.triggered)}")
+
+    def _spread_order(self) -> List[Node]:
+        """Nodes by descending free cores, memoised until occupancy moves.
+
+        Always derived from the construction order (stable sort), so a
+        cache hit and a fresh sort give the same placement.
+        """
+        if self._order_version != self._free_version:
+            free = self._free
+            self._order = sorted(self.nodes, key=lambda n: -free[n.name])
+            self._order_version = self._free_version
+        return self._order
+
     def _carve(self, cores: int) -> SlotAllocation:
-        order = self.nodes
+        free_map = self._free
         if self.policy == "spread":
-            order = sorted(self.nodes,
-                           key=lambda n: -self._free[n.name])
+            # Fast path: the request fits on the single most-free node
+            # (first such node in construction order — identical to the
+            # head of the stable descending sort).  Dominant case for
+            # the paper's 1-core tasks; no sort, no order list.
+            best = None
+            best_free = 0
+            for node in self.nodes:
+                f = free_map[node.name]
+                if f > best_free:
+                    best, best_free = node, f
+            if best_free >= cores:
+                free_map[best.name] = best_free - cores
+                self._free_cores -= cores
+                self._free_version += 1
+                return SlotAllocation([(best, cores)])
+            order = self._spread_order()
+        else:
+            order = self.nodes
         assignments: List[Tuple[Node, int]] = []
         remaining = cores
         for node in order:
-            free = self._free[node.name]
+            free = free_map[node.name]
             if free <= 0:
                 continue
-            take = min(free, remaining)
-            self._free[node.name] -= take
+            take = free if free < remaining else remaining
+            free_map[node.name] = free - take
             assignments.append((node, take))
             remaining -= take
             if remaining == 0:
                 break
         assert remaining == 0, "free_cores accounting broken"
+        self._free_cores -= cores
+        self._free_version += 1
         return SlotAllocation(assignments)
 
 
@@ -167,6 +231,7 @@ class YarnAgentScheduler:
         self._reserved_mb = 0
         self._reserved_cores = 0
         self._queue: Deque[Tuple[int, int, Event]] = deque()
+        self._waiting = 0
 
     def cluster_state(self) -> Dict[str, float]:
         """The RM metrics snapshot the scheduler works from."""
@@ -183,6 +248,7 @@ class YarnAgentScheduler:
                 f"{metrics['totalVirtualCores']} vcores)")
         event = Event(self.env)
         self._queue.append((cores, need_mb, event))
+        self._waiting += 1
         self._drain()
         return event
 
@@ -198,6 +264,7 @@ class YarnAgentScheduler:
                 cores, need_mb, event = self._queue[0]
                 if event.triggered:
                     self._queue.popleft()
+                    self._waiting -= 1
                     continue
                 # Throttle against the RM-reported capacity.  Our own
                 # in-flight reservations stand in for allocations that
@@ -208,6 +275,7 @@ class YarnAgentScheduler:
                         > metrics["totalVirtualCores"]):
                     return
                 self._queue.popleft()
+                self._waiting -= 1
                 self._reserved_mb += need_mb
                 self._reserved_cores += cores
                 # Node placement is YARN's job; the slot is cluster-wide.
@@ -222,7 +290,7 @@ class YarnAgentScheduler:
         if tel is None:
             return
         tel.gauge("agent.scheduler.queue_depth", backend="yarn").set(
-            sum(1 for _, _, e in self._queue if not e.triggered))
+            self._waiting)
         tel.gauge("agent.executor.busy_cores", backend="yarn").set(
             self._reserved_cores)
         total = metrics["totalVirtualCores"]

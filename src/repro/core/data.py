@@ -20,7 +20,6 @@ This module implements that trio against the simulated testbed:
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -151,8 +150,6 @@ class ComputeDataService:
     [that is] aware of the localities of the data sources".
     """
 
-    _seq = itertools.count(1)
-
     def __init__(self, session: Session, unit_manager: UnitManager,
                  inter_site_bw: float = 50e6):
         self.session = session
@@ -165,7 +162,7 @@ class ComputeDataService:
     # ------------------------------------------------------------- storage
     def create_pilot_data(self, description: PilotDataDescription) -> PilotData:
         description.validate()
-        uid = f"pd.{next(ComputeDataService._seq):04d}"
+        uid = self.session.next_uid("pd")
         pd = PilotData(self.session, uid, description)
         self.pilot_data[uid] = pd
         return pd
@@ -179,7 +176,7 @@ class ComputeDataService:
         shared filesystem.
         """
         description.validate()
-        uid = f"du.{next(ComputeDataService._seq):06d}"
+        uid = self.session.next_uid("du", width=6)
         du = DataUnit(self.env, uid, description)
         self.data_units[uid] = du
         pilot_data._charge(du.nbytes)

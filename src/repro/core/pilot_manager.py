@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import itertools
 from typing import Dict, List, Optional
 
 from repro.core.agent.agent import Agent, advance_doc
@@ -24,13 +23,11 @@ class PilotManager:
     the handle.
     """
 
-    _seq = itertools.count(1)
-
     def __init__(self, session: Session, heartbeat_timeout: float = 300.0,
                  heartbeat_check_interval: float = 30.0):
         self.session = session
         self.env = session.env
-        self.uid = f"pmgr.{next(PilotManager._seq):04d}"
+        self.uid = session.next_uid("pmgr")
         self.heartbeat_timeout = heartbeat_timeout
         self.heartbeat_check_interval = heartbeat_check_interval
         self.pilots: Dict[str, ComputePilot] = {}
@@ -44,7 +41,7 @@ class PilotManager:
     def submit_pilot(self, description: ComputePilotDescription) -> ComputePilot:
         """Submit one pilot; returns its handle immediately."""
         description.validate()
-        uid = f"pilot.{next(PilotManager._seq):04d}"
+        uid = self.session.next_uid("pilot")
         pilot = ComputePilot(self.env, uid, description)
         self.pilots[uid] = pilot
 

@@ -31,6 +31,22 @@ class Session:
         self.db = db or Database(env)
         self.rng = SeedSequenceRegistry(seed)
         self.closed = False
+        self._uid_counters: dict[str, itertools.count] = {}
+
+    def next_uid(self, prefix: str, width: int = 4) -> str:
+        """Session-scoped entity uids (``pilot.0001``, ``unit.000001``...).
+
+        Scoped to the session — not a class or module counter — so a
+        fresh session always numbers from 1 no matter what ran earlier
+        in the process.  Entity uids seed named RNG streams (e.g. the
+        agent bootstrap jitter), so session-scoped numbering is what
+        makes independent experiment cells bitwise-reproducible whether
+        they run sequentially, in any order, or on a process pool.
+        """
+        counter = self._uid_counters.get(prefix)
+        if counter is None:
+            counter = self._uid_counters[prefix] = itertools.count(1)
+        return f"{prefix}.{next(counter):0{width}d}"
 
     def close(self) -> None:
         self.closed = True

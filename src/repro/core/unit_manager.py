@@ -112,12 +112,10 @@ class UnitManager:
     changes onto the handles.
     """
 
-    _seq = itertools.count(1)
-
     def __init__(self, session: Session, scheduler=None):
         self.session = session
         self.env = session.env
-        self.uid = f"umgr.{next(UnitManager._seq):04d}"
+        self.uid = session.next_uid("umgr")
         self.scheduler = scheduler or RoundRobinScheduler()
         self.pilots: List[ComputePilot] = []
         self.units: Dict[str, ComputeUnit] = {}
@@ -146,7 +144,7 @@ class UnitManager:
         handles = []
         for desc in descriptions:
             desc.validate()
-            uid = f"unit.{next(UnitManager._seq):06d}"
+            uid = self.session.next_uid("unit", width=6)
             unit = ComputeUnit(self.env, uid, desc)
             pilot = self.scheduler.assign(unit, self.pilots)
             unit.pilot_uid = pilot.uid

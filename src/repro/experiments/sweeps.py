@@ -1,0 +1,317 @@
+"""Declarative experiment sweeps with a process-pool runner.
+
+The paper's evaluation is a grid of *independent* simulated cells —
+machine x flavor x scenario x task-count x seed.  This module expresses
+each figure's grid as a flat cell list and fans the cells out over a
+``concurrent.futures.ProcessPoolExecutor``:
+
+* every cell carries a deterministic seed derived from the root seed
+  and the cell's identity (not its position), so subsetting or
+  reordering a grid never shifts another cell's randomness;
+* results are aggregated in declaration order regardless of worker
+  completion order, so ``--jobs N`` produces row-for-row (and after
+  canonical JSON serialization, byte-for-byte) identical aggregates to
+  the sequential ``--jobs 1`` reference path;
+* per-cell and total wall-clock timings are captured separately from
+  the scientific rows, so timing jitter never contaminates the
+  deterministic output.
+
+Used by ``python -m repro sweep`` and the determinism regression tests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field, is_dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+GRIDS = ("figure5", "figure6", "ablations", "sensitivity")
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One independent unit of a sweep: a kind tag plus its parameters.
+
+    ``params`` is a sorted tuple of (name, value) pairs so cells are
+    hashable, picklable, and have a stable string identity.
+    """
+
+    grid: str
+    kind: str
+    params: Tuple[Tuple[str, Any], ...]
+    seed: int
+
+    @property
+    def key(self) -> str:
+        """Stable identity: grid/kind plus the sorted parameters."""
+        inner = ",".join(f"{k}={v}" for k, v in self.params)
+        return f"{self.grid}/{self.kind}({inner})"
+
+    def param(self, name: str) -> Any:
+        return dict(self.params)[name]
+
+
+def cell_seed(root_seed: int, key: str) -> int:
+    """Deterministic per-cell seed from the root seed + cell identity.
+
+    Uses sha256 (not ``hash()``) so the value is stable across
+    processes and PYTHONHASHSEED settings.
+    """
+    digest = hashlib.sha256(f"{root_seed}:{key}".encode()).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+def _cell(grid: str, kind: str, root_seed: int,
+          **params: Any) -> SweepCell:
+    ordered = tuple(sorted(params.items()))
+    inner = ",".join(f"{k}={v}" for k, v in ordered)
+    key = f"{grid}/{kind}({inner})"
+    return SweepCell(grid=grid, kind=kind, params=ordered,
+                     seed=cell_seed(root_seed, key))
+
+
+# ------------------------------------------------------------ grid builders
+def figure5_cells(root_seed: int = 42) -> List[SweepCell]:
+    """Both Figure 5 panels: one cell per bar."""
+    from repro.experiments.figure5 import PILOT_CASES, UNIT_CASES
+    cells = [
+        _cell("figure5", "pilot-startup", root_seed, machine=machine,
+              flavor=flavor, lrm=lrm, provision=provision)
+        for machine, flavor, lrm, provision in PILOT_CASES
+    ]
+    cells += [
+        _cell("figure5", "unit-startup", root_seed, machine=machine,
+              flavor=flavor, lrm=lrm)
+        for machine, flavor, lrm in UNIT_CASES
+    ]
+    return cells
+
+
+def figure6_cells(root_seed: int = 42,
+                  quick: bool = False) -> List[SweepCell]:
+    """The Figure 6 K-Means grid (36 cells; 16 with ``quick``)."""
+    from repro.experiments.calibration import SCENARIOS, TASK_CONFIGS
+    scenarios = [SCENARIOS[0], SCENARIOS[-1]] if quick else SCENARIOS
+    task_counts = [8, 32] if quick else sorted(TASK_CONFIGS)
+    return [
+        _cell("figure6", "kmeans", root_seed, machine=machine,
+              points=points, clusters=clusters, ntasks=ntasks,
+              flavor=flavor)
+        for machine in ("stampede", "wrangler")
+        for points, clusters in scenarios
+        for ntasks in task_counts
+        for flavor in ("RP", "RP-YARN")
+    ]
+
+
+def ablations_cells(root_seed: int = 42) -> List[SweepCell]:
+    return [_cell("ablations", kind, root_seed)
+            for kind in ("integration-level", "spark-deploy-mode",
+                         "am-reuse")]
+
+
+def sensitivity_cells(root_seed: int = 42,
+                      bandwidths_mb: Optional[Sequence[float]] = None
+                      ) -> List[SweepCell]:
+    """Lustre-bandwidth sweep: one cell per (bandwidth, flavor)."""
+    return [
+        _cell("sensitivity", "lustre-bw", root_seed, bw_mb=bw_mb,
+              flavor=flavor)
+        for bw_mb in (bandwidths_mb or [10, 30, 100, 300])
+        for flavor in ("RP", "RP-YARN")
+    ]
+
+
+def build_cells(grid: str, root_seed: int = 42,
+                quick: bool = False) -> List[SweepCell]:
+    """The named grid's declarative cell list."""
+    if grid == "figure5":
+        return figure5_cells(root_seed)
+    if grid == "figure6":
+        return figure6_cells(root_seed, quick=quick)
+    if grid == "ablations":
+        return ablations_cells(root_seed)
+    if grid == "sensitivity":
+        return sensitivity_cells(root_seed)
+    raise ValueError(f"unknown sweep grid {grid!r}; known: {GRIDS}")
+
+
+# ------------------------------------------------------------ cell runners
+def _jsonify(value: Any) -> Any:
+    """Dataclasses / numpy scalars -> plain JSON-serializable values."""
+    if is_dataclass(value) and not isinstance(value, type):
+        return _jsonify(asdict(value))
+    if isinstance(value, dict):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if hasattr(value, "item") and not isinstance(
+            value, (bool, int, float, str)):
+        return value.item()          # numpy scalar
+    return value
+
+
+def _run_figure5_cell(cell: SweepCell) -> List[Dict[str, Any]]:
+    from repro.core import ComputeUnitDescription
+    from repro.experiments.calibration import agent_config
+    from repro.experiments.figure5 import StartupRow, UnitStartupRow
+    from repro.experiments.harness import Testbed
+
+    params = dict(cell.params)
+    if cell.kind == "pilot-startup":
+        testbed = Testbed(params["machine"], num_nodes=1, seed=cell.seed,
+                          provision_hadoop=params["provision"])
+        pilot, t_submit, t_active = testbed.start_pilot(
+            nodes=1, agent_config=agent_config(params["lrm"]))
+        return [_jsonify(StartupRow(
+            machine=params["machine"], flavor=params["flavor"],
+            pilot_startup=t_active - t_submit,
+            lrm_setup=pilot.agent_info["lrm_setup_seconds"]))]
+    if cell.kind == "unit-startup":
+        samples = params.get("samples", 3)
+        testbed = Testbed(params["machine"], num_nodes=1, seed=cell.seed)
+        testbed.start_pilot(
+            nodes=1, agent_config=agent_config(params["lrm"]))
+        startups = []
+        for _ in range(samples):
+            units = testbed.umgr.submit_units(ComputeUnitDescription(
+                executable="/bin/sleep", arguments=("1",),
+                cores=1, cpu_seconds=1.0, memory_mb=1024))
+            testbed.env.run(testbed.umgr.wait_units(units))
+            if units[0].state.value != "Done":
+                raise RuntimeError(
+                    f"unit failed on {cell.key}: {units[0].stderr}")
+            startups.append(units[0].startup_time)
+        return [_jsonify(UnitStartupRow(
+            machine=params["machine"], flavor=params["flavor"],
+            unit_startup=sum(startups) / len(startups)))]
+    raise ValueError(f"unknown figure5 cell kind {cell.kind!r}")
+
+
+def _run_figure6_cell(cell: SweepCell) -> List[Dict[str, Any]]:
+    from repro.experiments.figure6 import run_figure6_cell
+    params = dict(cell.params)
+    row = run_figure6_cell(
+        params["machine"], params["flavor"], params["points"],
+        params["clusters"], params["ntasks"], seed=cell.seed)
+    return [_jsonify(row)]
+
+
+def _run_ablations_cell(cell: SweepCell) -> List[Dict[str, Any]]:
+    from repro.experiments import ablations
+    runner = {
+        "integration-level": ablations.run_integration_level,
+        "spark-deploy-mode": ablations.run_spark_deploy_mode,
+        "am-reuse": ablations.run_am_reuse,
+    }[cell.kind]
+    rows = runner(seed=cell.seed)
+    return [_jsonify(r) for r in rows]
+
+
+def _run_sensitivity_cell(cell: SweepCell) -> List[Dict[str, Any]]:
+    from repro.analytics import generate_points
+    from repro.experiments import sensitivity
+    params = dict(cell.params)
+    points, clusters, ntasks, nodes = 1_000_000, 50, 32, 3
+    data = generate_points(points, clusters, seed=1234)
+    bw = params["bw_mb"] * 1e6
+    runtime = sensitivity._run_cell(bw, params["flavor"], data, clusters,
+                                    ntasks, nodes)
+    return [{"lustre_bw": bw, "flavor": params["flavor"],
+             "runtime": runtime}]
+
+
+_CELL_RUNNERS = {
+    "figure5": _run_figure5_cell,
+    "figure6": _run_figure6_cell,
+    "ablations": _run_ablations_cell,
+    "sensitivity": _run_sensitivity_cell,
+}
+
+
+def run_cell(cell: SweepCell) -> Dict[str, Any]:
+    """Execute one cell (in this process) and capture its wall time.
+
+    Top-level and picklable by name, so it doubles as the process-pool
+    work function.
+    """
+    t0 = time.perf_counter()
+    rows = _CELL_RUNNERS[cell.grid](cell)
+    wall = time.perf_counter() - t0
+    return {"key": cell.key, "seed": cell.seed, "rows": rows,
+            "wall_seconds": wall, "pid": os.getpid()}
+
+
+# ------------------------------------------------------------ sweep driver
+@dataclass
+class SweepRun:
+    """Everything one sweep produced: deterministic rows + timing meta."""
+
+    grid: str
+    root_seed: int
+    jobs: int
+    results: List[Dict[str, Any]] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    def aggregate(self) -> Dict[str, Any]:
+        """The deterministic aggregate: cells in declaration order, no
+        timings.  Identical for any ``jobs`` value."""
+        return {
+            "grid": self.grid,
+            "root_seed": self.root_seed,
+            "cells": [{"key": r["key"], "seed": r["seed"],
+                       "rows": r["rows"]} for r in self.results],
+        }
+
+    def aggregate_json(self) -> str:
+        """Canonical JSON of :meth:`aggregate` — byte-comparable."""
+        return json.dumps(self.aggregate(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def digest(self) -> str:
+        """sha256 of the canonical aggregate, for quick comparisons."""
+        return hashlib.sha256(self.aggregate_json().encode()).hexdigest()
+
+    def report(self) -> Dict[str, Any]:
+        """Aggregate + timing metadata (the JSON artifact written by
+        ``repro sweep --out``)."""
+        return {
+            **self.aggregate(),
+            "jobs": self.jobs,
+            "wall_seconds": self.wall_seconds,
+            "digest": self.digest(),
+            "cell_timings": {r["key"]: r["wall_seconds"]
+                             for r in self.results},
+        }
+
+
+def run_sweep(grid: str, root_seed: int = 42, jobs: Optional[int] = None,
+              quick: bool = False,
+              cells: Optional[List[SweepCell]] = None) -> SweepRun:
+    """Run a grid, sequentially (``jobs=1``) or over a process pool.
+
+    ``jobs=None`` uses ``os.cpu_count()``.  ``jobs=1`` is the in-process
+    sequential reference path — no pool, no pickling — and is guaranteed
+    to produce the same aggregate as any parallel run.
+    """
+    if cells is None:
+        cells = build_cells(grid, root_seed=root_seed, quick=quick)
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    t0 = time.perf_counter()
+    if jobs == 1 or len(cells) <= 1:
+        results = [run_cell(cell) for cell in cells]
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as ex:
+            # Ordered aggregation: executor.map yields results in
+            # submission order no matter which worker finishes first.
+            results = list(ex.map(run_cell, cells))
+    wall = time.perf_counter() - t0
+    return SweepRun(grid=grid, root_seed=root_seed, jobs=jobs,
+                    results=results, wall_seconds=wall)

@@ -64,6 +64,9 @@ class NameNode:
         self.running = False
         #: path prefix -> storage policy (longest prefix wins)
         self.storage_policies: Dict[str, str] = {}
+        # policy_for() runs once per block write; the prefix scan is
+        # memoised per path and flushed when policies change.
+        self._policy_cache: Dict[str, str] = {}
 
     # ------------------------------------------------------------ daemons
     def start(self):
@@ -107,14 +110,19 @@ class NameNode:
                 f"unknown storage policy {policy!r}; known: "
                 f"{sorted(STORAGE_POLICIES)}")
         self.storage_policies[prefix] = policy
+        self._policy_cache.clear()
 
     def policy_for(self, path: str) -> str:
         """Effective policy for a path (longest matching prefix)."""
+        cached = self._policy_cache.get(path)
+        if cached is not None:
+            return cached
         best = ""
         policy = "HOT"
         for prefix, pol in self.storage_policies.items():
             if path.startswith(prefix) and len(prefix) > len(best):
                 best, policy = prefix, pol
+        self._policy_cache[path] = policy
         return policy
 
     def replica_storage_types(self, path: str, count: int) -> List[str]:
@@ -208,11 +216,14 @@ class NameNode:
     # --------------------------------------------------------- replication
     def under_replicated(self) -> List[Block]:
         """Blocks with fewer live replicas than the target factor."""
+        # The achievable replica count depends only on the live DN set,
+        # so it is computed once, not per block.
+        target = min(self.replication, len(self.live_datanodes()))
         missing: List[Block] = []
         for meta in self.files.values():
             for block in meta.blocks:
                 live = self._live_replica_nodes(block.block_id)
-                if len(live) < min(self.replication, len(self.live_datanodes())):
+                if len(live) < target:
                     missing.append(block)
         return missing
 

@@ -48,9 +48,15 @@ class AppRecord:
         self.final_status: Optional[str] = None
         self.diagnostics = ""
         self.finished = env.event()
+        #: Set by the RM so it can keep aggregate state counts current
+        #: without scanning every app on each metrics call.
+        self.on_advance = None
 
     def advance(self, state: ApplicationState) -> None:
+        previous = self.state
         self.state = state
+        if self.on_advance is not None:
+            self.on_advance(self, previous, state)
         if state is ApplicationState.RUNNING and self.start_time is None:
             self.start_time = self.env.now
         if state.is_final:
@@ -149,8 +155,8 @@ class CapacityPolicy(SchedulingPolicy):
             return False  # unknown queue: rejected at submit, belt+braces
         total_mb = self.rm.total_capacity().memory_mb
         queue_used = sum(
-            a.usage.memory_mb for a in self.rm.apps.values()
-            if a.queue == app.queue and not a.state.is_final)
+            a.usage.memory_mb for a in self.rm._active_apps.values()
+            if a.queue == app.queue)
         limit = total_mb * min(1.0, share * self.max_capacity)
         return queue_used + resource.memory_mb <= limit + 1e-9
 
@@ -166,6 +172,12 @@ class ResourceManager:
         self.policy.attach(self)
         self.node_managers: Dict[str, NodeManager] = {}
         self.apps: Dict[str, AppRecord] = {}
+        # Non-final apps only, in submission (= app-id) order: the
+        # heartbeat scheduling path and the metrics snapshot iterate
+        # this instead of every app ever submitted.
+        self._active_apps: Dict[str, AppRecord] = {}
+        self._apps_running = 0
+        self._apps_pending = 0
         self._app_counter = itertools.count(1)
         self._container_counter = itertools.count(1)
         self.running = False
@@ -211,7 +223,9 @@ class ResourceManager:
             raise ValueError(f"unknown queue {spec.queue!r}")
         app_id = f"application_{next(self._app_counter):04d}"
         app = AppRecord(self.env, app_id, spec)
+        app.on_advance = self._track_app_state
         self.apps[app_id] = app
+        self._active_apps[app_id] = app
         self.metrics_counters["appsSubmitted"] += 1
         self.env.process(self._accept(app), name=f"accept-{app_id}")
         return app
@@ -245,6 +259,22 @@ class ResourceManager:
         app.diagnostics = diagnostics
         app.advance(state)
 
+    def _track_app_state(self, app: AppRecord, previous: ApplicationState,
+                         state: ApplicationState) -> None:
+        """Keep the running/pending tallies and the active-app index
+        current; called from :meth:`AppRecord.advance`."""
+        pending = (ApplicationState.SUBMITTED, ApplicationState.ACCEPTED)
+        if previous is ApplicationState.RUNNING:
+            self._apps_running -= 1
+        elif previous in pending:
+            self._apps_pending -= 1
+        if state is ApplicationState.RUNNING:
+            self._apps_running += 1
+        elif state in pending:
+            self._apps_pending += 1
+        if state.is_final:
+            self._active_apps.pop(app.app_id, None)
+
     # ---------------------------------------------------------- scheduling
     def _normalize(self, resource: YarnResource) -> YarnResource:
         """Round memory up to the scheduler increment, clamp to max."""
@@ -263,8 +293,7 @@ class ResourceManager:
         rather than piling onto whichever NM reports first.
         """
         budget = self.config.max_assignments_per_heartbeat
-        active = [a for a in self.apps.values() if not a.state.is_final
-                  and a.pending]
+        active = [a for a in self._active_apps.values() if a.pending]
         tel = self.env.telemetry
         if tel is not None:
             # The RM-side scheduling backlog, sampled at every
@@ -391,47 +420,58 @@ class ResourceManager:
 
     # ------------------------------------------------------------- metrics
     def total_capacity(self) -> YarnResource:
-        total = ZERO_RESOURCE
+        mem = cores = 0
         for nm in self.node_managers.values():
             if nm.alive:
-                total = total.plus(nm.capacity)
-        return total
+                capacity = nm.capacity
+                mem += capacity.memory_mb
+                cores += capacity.vcores
+        return YarnResource(memory_mb=mem, vcores=cores)
 
     def used_capacity(self) -> YarnResource:
-        used = ZERO_RESOURCE
+        mem = cores = 0
         for nm in self.node_managers.values():
             if nm.alive:
-                used = used.plus(nm.used)
-        return used
+                used = nm.used
+                mem += used.memory_mb
+                cores += used.vcores
+        return YarnResource(memory_mb=mem, vcores=cores)
 
     def cluster_metrics(self) -> Dict[str, float]:
         """RM REST ``/ws/v1/cluster/metrics``-shaped snapshot.
 
         This is what the RADICAL-Pilot YARN agent scheduler polls to
-        size its resource slots (paper §III-C).
+        size its resource slots (paper §III-C) — on every unit
+        submission and queue drain, which makes this the RM's hottest
+        read path.  App-state tallies are therefore maintained
+        incrementally (see :meth:`_track_app_state`) and the capacity
+        scan touches only live NodeManagers once.
         """
-        total = self.total_capacity()
-        used = self.used_capacity()
-        states = [a.state for a in self.apps.values()]
+        total_mb = total_vc = used_mb = used_vc = active_nodes = 0
+        for nm in self.node_managers.values():
+            if nm.alive:
+                active_nodes += 1
+                capacity, used = nm.capacity, nm.used
+                total_mb += capacity.memory_mb
+                total_vc += capacity.vcores
+                used_mb += used.memory_mb
+                used_vc += used.vcores
+        counters = self.metrics_counters
         return {
-            "appsSubmitted": self.metrics_counters["appsSubmitted"],
-            "appsCompleted": self.metrics_counters["appsCompleted"],
-            "appsFailed": self.metrics_counters["appsFailed"],
-            "appsKilled": self.metrics_counters["appsKilled"],
-            "appsRunning": sum(1 for s in states
-                               if s is ApplicationState.RUNNING),
-            "appsPending": sum(1 for s in states if s in (
-                ApplicationState.SUBMITTED, ApplicationState.ACCEPTED)),
-            "containersAllocated": self.metrics_counters[
-                "containersAllocated"],
-            "totalMB": total.memory_mb,
-            "allocatedMB": used.memory_mb,
-            "availableMB": total.memory_mb - used.memory_mb,
-            "totalVirtualCores": total.vcores,
-            "allocatedVirtualCores": used.vcores,
-            "availableVirtualCores": total.vcores - used.vcores,
-            "activeNodes": sum(1 for nm in self.node_managers.values()
-                               if nm.alive),
+            "appsSubmitted": counters["appsSubmitted"],
+            "appsCompleted": counters["appsCompleted"],
+            "appsFailed": counters["appsFailed"],
+            "appsKilled": counters["appsKilled"],
+            "appsRunning": self._apps_running,
+            "appsPending": self._apps_pending,
+            "containersAllocated": counters["containersAllocated"],
+            "totalMB": total_mb,
+            "allocatedMB": used_mb,
+            "availableMB": total_mb - used_mb,
+            "totalVirtualCores": total_vc,
+            "allocatedVirtualCores": used_vc,
+            "availableVirtualCores": total_vc - used_vc,
+            "activeNodes": active_nodes,
             "totalNodes": len(self.node_managers),
         }
 

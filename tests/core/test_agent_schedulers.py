@@ -111,6 +111,54 @@ def test_free_cores_accounting():
     env.run(env.process(consume()))
 
 
+def test_total_cores_cached_at_construction():
+    env, node_list = nodes(2)
+    sched = ContinuousScheduler(env, node_list)
+    expected = sum(n.num_cores for n in node_list)
+    assert sched.total_cores == expected
+
+    def consume():
+        alloc = yield sched.allocate(5)
+        assert sched.total_cores == expected  # invariant under churn
+        sched.release(alloc)
+        assert sched.total_cores == expected
+
+    env.run(env.process(consume()))
+
+
+@pytest.mark.parametrize("policy", ["pack", "spread"])
+def test_debug_mode_checks_counter_consistency(policy):
+    """``debug=True`` cross-checks the incremental free-core counter
+    against a full per-node re-summation on every grant."""
+    env, node_list = nodes(2)
+    sched = ContinuousScheduler(env, node_list, policy=policy, debug=True)
+
+    def churn():
+        held = []
+        for cores in (4, 7, 16, 1):
+            held.append((yield sched.allocate(cores)))
+        for alloc in held[:2]:
+            sched.release(alloc)
+        held.append((yield sched.allocate(9)))
+        for alloc in held[2:]:
+            sched.release(alloc)
+
+    env.run(env.process(churn()))
+    assert sched.free_cores == sched.total_cores
+
+
+def test_debug_mode_catches_corrupted_counter():
+    env, node_list = nodes(1)
+    sched = ContinuousScheduler(env, node_list, debug=True)
+    sched._free_cores -= 1  # simulate drift
+
+    def consume():
+        yield sched.allocate(1)
+
+    with pytest.raises(AssertionError):
+        env.run(env.process(consume()))
+
+
 # ------------------------------------------------------------- yarn
 def make_yarn_sched(num_nodes=1):
     env = Environment()

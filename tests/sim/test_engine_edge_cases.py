@@ -123,3 +123,69 @@ def test_run_to_horizon_advances_clock_past_last_event():
     env.timeout(3.0)
     env.run(until=10.0)
     assert env.now == 10.0
+
+
+def test_run_to_horizon_with_empty_queue_still_advances_clock():
+    env = Environment()
+    env.run(until=7.5)
+    assert env.now == 7.5
+    # and again, from a non-zero clock
+    env.run(until=9.0)
+    assert env.now == 9.0
+
+
+def test_interrupt_when_target_fires_at_same_timestamp():
+    # The interrupt is delivered at the same simulated time the
+    # process's awaited event fires.  The urgent-priority interrupt
+    # wins, the process detaches from its target, and the orphaned
+    # event firing afterwards must not resume the process a second
+    # time.
+    env = Environment()
+    log = []
+    holder = {}
+
+    def attacker():
+        yield env.timeout(5.0)
+        holder["victim"].interrupt(cause="same-instant")
+
+    def victim():
+        try:
+            yield env.timeout(5.0, value="fired")
+            log.append("fired")
+        except Interrupt as intr:
+            log.append(("interrupted", intr.cause, env.now))
+            value = yield env.timeout(1.0, value="resumed")
+            log.append(value)
+        return "done"
+
+    # attacker first, so its t=5 timeout fires before the victim's
+    env.process(attacker())
+    holder["victim"] = proc = env.process(victim())
+    assert env.run(proc) == "done"
+    assert log == [("interrupted", "same-instant", 5.0), "resumed"]
+    assert env.now == 6.0
+
+
+def test_conditions_over_already_processed_events():
+    env = Environment()
+    a = env.timeout(1.0, value="a")
+    b = env.timeout(2.0, value="b")
+    env.run()
+    assert a.processed and b.processed
+
+    any_c = env.any_of([a, b])
+    all_c = env.all_of([a, b])
+    assert env.run(all_c) == {a: "a", b: "b"}
+    assert env.run(any_c) == {a: "a", b: "b"}
+
+
+def test_conditions_over_already_failed_event():
+    env = Environment()
+    bad = env.event()
+    bad.fail(ValueError("stale failure"))
+    env.run()
+
+    with pytest.raises(ValueError, match="stale failure"):
+        env.run(env.all_of([bad, env.timeout(1.0)]))
+    with pytest.raises(ValueError, match="stale failure"):
+        env.run(env.any_of([bad, env.timeout(1.0)]))
