@@ -1,0 +1,262 @@
+"""Data-plane microbenchmarks: pipe churn, MR shuffle, Spark shuffle.
+
+Three probes, smallest to largest:
+
+* ``pipe_churn_per_sec`` — transfer churn through one
+  :class:`SharedBandwidthPipe` at 1/10/100/1000 concurrent streams with
+  staggered sizes, so every completion is a state change (the contended
+  burst pattern of the paper's §V Lustre-shuffle comparison).
+* ``mr_shuffle_records_per_sec`` — end-to-end inline MapReduce
+  wordcount over HDFS (map, spill, shuffle fetch, reduce, output
+  write): the whole MR data plane in wall-clock terms.
+* ``spark_rbk_records_per_sec`` — ``reduce_by_key`` over a Spark
+  standalone cluster: shuffle map stage, bucketed writes, coalesced
+  fetches, combiner merge.
+
+Run standalone to (re)write the committed ``BENCH_dataplane.json``
+baseline::
+
+    PYTHONPATH=src python benchmarks/bench_dataplane.py [--rounds N] [--out FILE]
+
+check mode (used by CI; exits non-zero on a >``--tolerance`` regression
+against the committed baseline, same scheme as ``BENCH_kernel.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_dataplane.py --rounds 1 \
+        --check BENCH_dataplane.json --tolerance 0.30
+
+or under pytest (one quick round, sanity asserts only)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_dataplane.py -q
+
+Numbers are machine-dependent; the baseline exists to make *relative*
+movement visible from PR to PR on comparable hardware.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.cluster import Machine, stampede
+from repro.cluster.storage import GB, KB, MB, SharedBandwidthPipe
+from repro.hdfs import HdfsCluster
+from repro.mapreduce import MapReduceJob, MRJobSpec
+from repro.sim import Environment, SeedSequenceRegistry
+from repro.spark import SparkConf, SparkStandaloneCluster
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_dataplane.json"
+
+#: Concurrency levels for the pipe-churn probe.
+CHURN_STREAMS = (1, 10, 100, 1000)
+
+
+# ------------------------------------------------------------- pipe churn
+def bench_pipe_churn(streams: int, transfers_per_stream: int = 0) -> float:
+    """Transfer churn at a fixed concurrency level (transfers/sec).
+
+    Sizes are staggered (97 distinct values) so completions never
+    coincide: every finish is a pipe state change, the worst case for
+    the rescan-everything accounting and the common case for a real
+    shuffle burst.
+    """
+    if not transfers_per_stream:
+        # Keep total work roughly constant across concurrency levels.
+        transfers_per_stream = max(10, 8000 // streams)
+    env = Environment()
+    pipe = SharedBandwidthPipe(env, aggregate_bw=100 * GB,
+                               per_stream_bw=1 * GB, latency=1e-5)
+
+    def worker(i):
+        size = (1 + (i % 97)) * 64 * KB
+        for _ in range(transfers_per_stream):
+            yield pipe.transfer(size)
+
+    for i in range(streams):
+        env.process(worker(i))
+    total = streams * transfers_per_stream
+    t0 = time.perf_counter()
+    env.run()
+    return total / (time.perf_counter() - t0)
+
+
+# ------------------------------------------------------------- MR shuffle
+def _mr_stack(num_nodes: int = 4):
+    env = Environment()
+    machine = Machine(env, stampede(num_nodes=num_nodes))
+    hdfs = HdfsCluster(env, machine, machine.nodes, replication=2,
+                       block_size=8 * MB,
+                       rng=SeedSequenceRegistry(7).stream("bench"))
+
+    def boot():
+        yield env.process(hdfs.start())
+
+    env.run(env.process(boot()))
+    return env, machine, hdfs
+
+
+def bench_mr_shuffle(num_lines: int = 3_000, words_per_line: int = 20,
+                     num_blocks: int = 48, num_reducers: int = 32) -> float:
+    """Wall-clock throughput (shuffled pairs/sec) of an inline MR
+    wordcount.
+
+    Records are text lines (``words_per_line`` words each, wordcount's
+    natural input), and the map/reduce fan-out is wide (48 x 32 by
+    default) so the run is dominated by the shuffle data plane — spill
+    writes, per-(map, reduce) fetch traffic through the
+    processor-sharing pipes, merge and reduce — not by user mapper
+    calls.
+    """
+    env, machine, hdfs = _mr_stack()
+    vocabulary = [f"word-{i:04d}" for i in range(199)]
+    lines = [tuple(vocabulary[(i * words_per_line + j) % len(vocabulary)]
+                   for j in range(words_per_line))
+             for i in range(num_lines)]
+    per = (len(lines) + num_blocks - 1) // num_blocks
+    slices = [lines[i * per:(i + 1) * per] for i in range(num_blocks)]
+    slices = [s for s in slices if s]
+    client = hdfs.client(hdfs.master_node.name)
+
+    def put():
+        yield env.process(client.put("/bench/lines",
+                                     len(slices) * 8 * MB - 1,
+                                     payload_slices=slices))
+
+    env.run(env.process(put()))
+
+    spec = MRJobSpec(
+        name="bench-wordcount",
+        input_path="/bench/lines",
+        output_path="/bench/wc",
+        mapper=lambda line: [(word, 1) for word in line],
+        reducer=lambda word, counts: [(word, sum(counts))],
+        num_reducers=num_reducers)
+    job = MapReduceJob(env, spec, hdfs)
+    t0 = time.perf_counter()
+    env.run(env.process(job.run_inline()))
+    elapsed = time.perf_counter() - t0
+    assert job.counters.reduce_output_records == len(vocabulary)
+    return num_lines * words_per_line / elapsed
+
+
+# ---------------------------------------------------------- Spark shuffle
+def bench_spark_reduce_by_key(num_records: int = 50_000,
+                              num_partitions: int = 16) -> float:
+    """Wall-clock throughput (records/sec) of one reduce_by_key job."""
+    env = Environment()
+    machine = Machine(env, stampede(num_nodes=4))
+    cluster = SparkStandaloneCluster(env, machine, machine.nodes)
+    holder = {}
+
+    def boot():
+        yield env.process(cluster.start())
+        ctx = yield from cluster.context(SparkConf(
+            num_executors=4, executor_cores=2,
+            default_parallelism=num_partitions))
+        holder["ctx"] = ctx
+
+    env.run(env.process(boot()))
+    ctx = holder["ctx"]
+
+    pairs = [(i % 499, 1) for i in range(num_records)]
+    rdd = ctx.parallelize(pairs, num_partitions).reduce_by_key(
+        lambda a, b: a + b)
+    t0 = time.perf_counter()
+    result = env.run(env.process(rdd.collect()))
+    elapsed = time.perf_counter() - t0
+    assert sum(v for _, v in result) == num_records
+    return num_records / elapsed
+
+
+# ----------------------------------------------------------------- driver
+def run_benchmarks(rounds: int = 3) -> dict:
+    """Best-of-``rounds`` for each probe (best-of filters scheduler
+    noise; all probes are higher-is-better throughputs)."""
+    results: dict = {f"pipe_churn_{n}_per_sec": 0.0 for n in CHURN_STREAMS}
+    results["mr_shuffle_records_per_sec"] = 0.0
+    results["spark_rbk_records_per_sec"] = 0.0
+    for _ in range(rounds):
+        for n in CHURN_STREAMS:
+            key = f"pipe_churn_{n}_per_sec"
+            results[key] = max(results[key], bench_pipe_churn(n))
+        results["mr_shuffle_records_per_sec"] = max(
+            results["mr_shuffle_records_per_sec"], bench_mr_shuffle())
+        results["spark_rbk_records_per_sec"] = max(
+            results["spark_rbk_records_per_sec"],
+            bench_spark_reduce_by_key())
+    results["rounds"] = rounds
+    return results
+
+
+def check_against(results: dict, baseline: dict,
+                  tolerance: float) -> list:
+    """Probes regressed by more than ``tolerance`` vs the baseline."""
+    failures = []
+    for key, base in baseline.items():
+        if key == "rounds" or not isinstance(base, (int, float)):
+            continue
+        measured = results.get(key)
+        if measured is None:
+            failures.append(f"{key}: missing from results")
+        elif measured < base * (1.0 - tolerance):
+            failures.append(
+                f"{key}: {measured:,.0f} < {base * (1 - tolerance):,.0f} "
+                f"(baseline {base:,.0f}, tolerance {tolerance:.0%})")
+    return failures
+
+
+# --------------------------------------------------------------- pytest
+def test_dataplane_microbenchmarks_smoke():
+    """One cut-down round of every probe; catches runtime breakage."""
+    churn = bench_pipe_churn(50, transfers_per_stream=10)
+    mr = bench_mr_shuffle(num_lines=200, num_blocks=6, num_reducers=4)
+    spark = bench_spark_reduce_by_key(num_records=3_000, num_partitions=4)
+    assert churn > 0 and mr > 0 and spark > 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="data-plane microbenchmarks; writes the JSON baseline")
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--out", default=str(BASELINE_PATH), metavar="FILE",
+                        help="baseline path ('-' for stdout only)")
+    parser.add_argument("--check", metavar="BASELINE", default=None,
+                        help="compare against a committed baseline instead "
+                             "of writing one; exit 1 on regression")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional regression in check mode")
+    args = parser.parse_args(argv)
+
+    results = run_benchmarks(rounds=args.rounds)
+    for n in CHURN_STREAMS:
+        print(f"pipe churn {n:>4} streams:  "
+              f"{results[f'pipe_churn_{n}_per_sec']:>12,.0f} transfers/sec")
+    print(f"MR shuffle wordcount:    "
+          f"{results['mr_shuffle_records_per_sec']:>12,.0f} records/sec")
+    print(f"Spark reduce_by_key:     "
+          f"{results['spark_rbk_records_per_sec']:>12,.0f} records/sec")
+
+    if args.check is not None:
+        with open(args.check) as fh:
+            baseline = json.load(fh)
+        failures = check_against(results, baseline, args.tolerance)
+        if failures:
+            print("REGRESSION vs baseline:")
+            for line in failures:
+                print(f"  {line}")
+            return 1
+        print(f"ok vs {args.check} (tolerance {args.tolerance:.0%})")
+        return 0
+
+    if args.out != "-":
+        with open(args.out, "w") as fh:
+            json.dump(results, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,7 +9,7 @@ Pilot-Manager-level YARN integration (ablation A1).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterable
 
 from repro.cluster.storage import SharedBandwidthPipe
 from repro.sim.engine import Environment, Event
@@ -43,6 +43,28 @@ class Interconnect:
             self.env.timeout(delay).callbacks.append(_fire)
             return done
         return self.backbone.transfer(nbytes)
+
+    def send_many(self, src: str, dst: str,
+                  sizes: Iterable[float]) -> Event:
+        """Transfer a batch of chunks ``src`` -> ``dst`` as one stream.
+
+        Coalesces the per-chunk sizes into a single fabric transfer —
+        one latency charge and one completion event instead of one per
+        chunk.  This is the shuffle-fetch batching primitive: a reducer
+        pulls everything a map node holds for it in one go.
+        """
+        total = 0.0
+        for size in sizes:
+            total += size
+        if src == dst:
+            done = Event(self.env)
+            delay = total / self.MEMCPY_BW
+
+            def _fire(_):
+                done.succeed()
+            self.env.timeout(delay).callbacks.append(_fire)
+            return done
+        return self.backbone.transfer(total)
 
     def wan_roundtrip(self) -> Event:
         """One client<->cluster WAN round-trip (used by ablation A1)."""

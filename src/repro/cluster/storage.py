@@ -8,6 +8,20 @@ recomputed and the next completion re-scheduled — so a burst of
 concurrent readers sees precisely the slowdown a contended Lustre OST
 pool would impose, while a single stream gets the full per-stream rate.
 
+The accounting runs on a *virtual service clock*: ``V(t)`` is the
+cumulative fair-share work (bytes) a transfer that has been in the pipe
+since the last idle period would have received.  Because every active
+transfer progresses at the same rate, ``V`` is piecewise-linear between
+state changes and a transfer entering with ``remaining`` bytes of work
+finishes exactly when ``V`` reaches its *finish credit*
+``V(entry) + remaining``.  A state change therefore costs one ``V``
+advance plus a heap push/pop — O(log n) — instead of decrementing and
+rescanning every active transfer (O(n) per change, O(n²) per burst).
+The per-stream cap keeps rates piecewise-constant, so the credit
+algebra reproduces the full-scan model's completion times; construct
+with ``debug=True`` to cross-check the credits against a shadow
+full-scan ledger on every state change.
+
 :class:`StorageVolume` couples a pipe with a capacity counter and a
 flat per-operation latency (metadata round-trip for Lustre, seek for
 local disks).
@@ -16,8 +30,9 @@ local disks).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass
+from heapq import heappop as _heappop, heappush as _heappush
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.sim.engine import Environment, Event, SimulationError
 
@@ -38,16 +53,8 @@ class StorageSpec:
     capacity: float = math.inf     # bytes
 
 
-class _Transfer:
-    __slots__ = ("remaining", "event")
-
-    def __init__(self, remaining: float, event: Event):
-        self.remaining = remaining
-        self.event = event
-
-
 class SharedBandwidthPipe:
-    """Processor-sharing bandwidth pipe.
+    """Processor-sharing bandwidth pipe (virtual-clock accounting).
 
     ``transfer(nbytes)`` returns an event that fires when the transfer
     completes under fair sharing.  Zero-byte transfers complete after
@@ -56,7 +63,8 @@ class SharedBandwidthPipe:
 
     def __init__(self, env: Environment, aggregate_bw: float,
                  per_stream_bw: Optional[float] = None,
-                 latency: float = 0.0, name: str = "pipe"):
+                 latency: float = 0.0, name: str = "pipe",
+                 debug: bool = False):
         if aggregate_bw <= 0:
             raise SimulationError("aggregate bandwidth must be positive")
         if per_stream_bw is not None and per_stream_bw <= 0:
@@ -66,24 +74,32 @@ class SharedBandwidthPipe:
         self.aggregate_bw = float(aggregate_bw)
         self.per_stream_bw = float(per_stream_bw) if per_stream_bw else None
         self.latency = float(latency)
-        self._active: Dict[int, _Transfer] = {}
+        #: Min-heap of (finish_credit, tid, event) for in-flight
+        #: transfers; a transfer completes when ``V`` reaches its credit.
+        self._heap: List[Tuple[float, int, Event]] = []
+        #: The virtual service clock ``V(t)``: cumulative fair-share
+        #: work per stream (bytes) since the last idle period.
+        self._virtual = 0.0
         self._next_id = 0
         self._last_update = env.now
         self._wake_generation = 0
+        self.debug = debug
+        #: Shadow full-scan ledger (tid -> remaining), debug mode only.
+        self._shadow: Dict[int, float] = {}
         self.bytes_moved = 0.0  # lifetime accounting, for benchmarks
 
     # -- public API --------------------------------------------------------
     @property
     def active_streams(self) -> int:
         """Number of transfers currently in flight."""
-        return len(self._active)
+        return len(self._heap)
 
     def current_rate(self) -> float:
         """Per-stream rate (bytes/s) given current concurrency."""
-        n = max(1, len(self._active))
-        rate = self.aggregate_bw / n
-        if self.per_stream_bw is not None:
-            rate = min(rate, self.per_stream_bw)
+        n = len(self._heap)
+        rate = self.aggregate_bw / n if n > 1 else self.aggregate_bw
+        if self.per_stream_bw is not None and rate > self.per_stream_bw:
+            rate = self.per_stream_bw
         return rate
 
     def transfer(self, nbytes: float) -> Event:
@@ -108,10 +124,26 @@ class SharedBandwidthPipe:
         # Latency is charged up-front by inflating the workload with an
         # equivalent byte count at the single-stream rate; this keeps the
         # whole pipe in one progress domain.
-        latency_bytes = self.latency * self._single_stream_rate()
-        self._active[tid] = _Transfer(float(nbytes) + latency_bytes, event)
+        work = float(nbytes) + self.latency * self._single_stream_rate()
+        _heappush(self._heap, (self._virtual + work, tid, event))
+        if self.debug:
+            self._shadow[tid] = work
         self._reschedule()
         return event
+
+    def transfer_many(self, sizes: Iterable[float]) -> Event:
+        """Move a batch of chunks as one coalesced stream.
+
+        One transfer (one latency charge, one completion event) for the
+        summed byte count — the data-plane batching primitive behind
+        coalesced shuffle fetches and multi-block reads.
+        """
+        total = 0.0
+        for size in sizes:
+            if size < 0:
+                raise SimulationError(f"negative transfer size {size}")
+            total += size
+        return self.transfer(total)
 
     def estimate_duration(self, nbytes: float, streams: int = 1) -> float:
         """Closed-form duration estimate at a fixed concurrency level.
@@ -133,44 +165,69 @@ class SharedBandwidthPipe:
         return rate
 
     def _settle(self) -> None:
-        """Account progress made since the last state change."""
+        """Advance the virtual clock over the interval since the last
+        state change.  O(1): no per-transfer bookkeeping."""
         now = self.env.now
         dt = now - self._last_update
         self._last_update = now
-        if dt <= 0 or not self._active:
+        if dt <= 0 or not self._heap:
             return
-        rate = self.current_rate()
-        for tr in self._active.values():
-            tr.remaining -= rate * dt
+        advanced = self.current_rate() * dt
+        self._virtual += advanced
+        if self.debug:
+            for tid in self._shadow:
+                self._shadow[tid] -= advanced
+            self._debug_check()
+
+    def _debug_check(self) -> None:
+        """Assert credit-derived remainders against the shadow ledger."""
+        assert len(self._shadow) == len(self._heap), (
+            f"shadow ledger holds {len(self._shadow)} transfers, "
+            f"heap {len(self._heap)}")
+        for credit, tid, _ in self._heap:
+            fast = credit - self._virtual
+            slow = self._shadow[tid]
+            assert abs(fast - slow) <= 1e-6 * max(1.0, abs(credit)), (
+                f"transfer {tid}: credit accounting {fast} diverged from "
+                f"full-scan ledger {slow}")
 
     def _reschedule(self) -> None:
         """Schedule a wake-up at the earliest projected completion."""
         self._wake_generation += 1
-        if not self._active:
+        if not self._heap:
+            # Idle: reset the virtual clock so credits never accumulate
+            # floating-point headroom across busy periods.
+            self._virtual = 0.0
+            if self.debug:
+                self._shadow.clear()
             return
         generation = self._wake_generation
         rate = self.current_rate()
-        min_remaining = min(tr.remaining for tr in self._active.values())
+        min_remaining = self._heap[0][0] - self._virtual
         delay = max(0.0, min_remaining / rate)
-        # Transfers projected to complete at this wake.  Because the
-        # generation guard ensures no state change between scheduling
-        # and waking, these are *exactly* done at the wake time — we
-        # complete them by fiat, immune to floating-point residue that
-        # could otherwise stall the clock (remaining/rate below the
-        # clock's ULP).
-        due = [tid for tid, tr in self._active.items()
-               if tr.remaining <= min_remaining * (1 + 1e-12)]
+        # Transfers whose credits sit within FP tolerance of the minimum
+        # complete at this wake.  Because the generation guard ensures
+        # no state change between scheduling and waking, these are
+        # *exactly* done at the wake time — we complete them by fiat,
+        # immune to floating-point residue that could otherwise stall
+        # the clock (remaining/rate below the clock's ULP).
+        threshold = self._virtual + min_remaining * (1 + 1e-12)
         timeout = self.env.timeout(delay)
 
         def _on_wake(_event):
             if generation != self._wake_generation:
                 return  # superseded by a newer state change
             self._settle()
-            finished = set(due)
-            finished.update(tid for tid, tr in self._active.items()
-                            if tr.remaining <= 1e-9)
-            for tid in finished:
-                self._active.pop(tid).event.succeed()
+            floor = threshold
+            settled = self._virtual + 1e-9
+            if settled > floor:
+                floor = settled
+            heap = self._heap
+            while heap and heap[0][0] <= floor:
+                _, tid, event = _heappop(heap)
+                if self.debug:
+                    self._shadow.pop(tid, None)
+                event.succeed()
             self._reschedule()
 
         timeout.callbacks.append(_on_wake)
@@ -181,14 +238,17 @@ class StorageVolume:
 
     ``read``/``write`` return completion events; ``write`` additionally
     debits capacity (raising on overflow, like a full Lustre quota).
+    ``read_many``/``write_many`` coalesce a batch of chunks into one
+    pipe transfer (one latency charge, one event).
     """
 
-    def __init__(self, env: Environment, spec: StorageSpec):
+    def __init__(self, env: Environment, spec: StorageSpec,
+                 debug: bool = False):
         self.env = env
         self.spec = spec
         self.pipe = SharedBandwidthPipe(
             env, spec.aggregate_bw, spec.per_stream_bw, spec.latency,
-            name=spec.name)
+            name=spec.name, debug=debug)
         self.used = 0.0
         self.read_bytes = 0.0
         self.write_bytes = 0.0
@@ -206,6 +266,12 @@ class StorageVolume:
         self.read_bytes += nbytes
         return self.pipe.transfer(nbytes)
 
+    def read_many(self, sizes: Iterable[float]) -> Event:
+        """Read a batch of chunks as one coalesced stream."""
+        sizes = list(sizes)
+        self.read_bytes += sum(sizes)
+        return self.pipe.transfer_many(sizes)
+
     def write(self, nbytes: float) -> Event:
         """Write ``nbytes``, debiting capacity."""
         if nbytes > self.free:
@@ -214,6 +280,17 @@ class StorageVolume:
         self.used += nbytes
         self.write_bytes += nbytes
         return self.pipe.transfer(nbytes)
+
+    def write_many(self, sizes: Iterable[float]) -> Event:
+        """Write a batch of chunks as one coalesced stream."""
+        sizes = list(sizes)
+        total = sum(sizes)
+        if total > self.free:
+            raise SimulationError(
+                f"storage {self.name!r} full: need {total}, free {self.free}")
+        self.used += total
+        self.write_bytes += total
+        return self.pipe.transfer_many(sizes)
 
     def delete(self, nbytes: float) -> None:
         """Return ``nbytes`` of capacity (metadata-only, instantaneous)."""

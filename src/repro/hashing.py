@@ -1,0 +1,28 @@
+"""Process-stable hashing for data placement.
+
+Python's builtin ``hash`` is salted per process for ``str``/``bytes``
+(``PYTHONHASHSEED``), so any data placement derived from it — MR
+partitioners, Spark shuffle bucketing — lands string keys on different
+partitions from one process to the next.  That breaks the sweeps'
+``jobs=N == jobs=1`` byte-identical guarantee: a worker in a process
+pool would shuffle the same job differently than the sequential
+reference run.  :func:`stable_hash` is the deterministic replacement.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any
+
+
+def stable_hash(key: Any) -> int:
+    """Deterministic 32-bit hash of ``key``, stable across processes.
+
+    Hashes the canonical ``repr``: equal keys of the same type have
+    equal reprs for every type that flows through MR/Spark shuffles
+    (str, bytes, int, float, bool, and tuples thereof).  Unlike builtin
+    ``hash``, numerically-equal keys of *different* types (``1`` vs
+    ``1.0``) hash differently — irrelevant for partitioning, which only
+    needs determinism and spread, not cross-type equality.
+    """
+    return zlib.crc32(repr(key).encode("utf-8", "surrogatepass"))

@@ -15,7 +15,7 @@ file lands on.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Iterable, Optional
 
 from repro.cluster.node import Node
 from repro.cluster.storage import StorageSpec, StorageVolume
@@ -109,6 +109,30 @@ class DataNode:
                 f"datanode {self.name} does not hold block {block_id}")
         self.bytes_read += block.nbytes
         return self.volume(self.block_storage[block_id]).read(block.nbytes)
+
+    def read_many(self, block_ids: Iterable[int]) -> Event:
+        """Read several co-located replicas as coalesced streams.
+
+        One volume transfer per storage tier holding any of the blocks
+        (one latency charge and one event per tier, not per block) —
+        the batched path for whole-file reads.
+        """
+        if not self.alive:
+            raise SimulationError(f"datanode {self.name} is down")
+        sizes_by_tier: Dict[str, list] = {}
+        for block_id in block_ids:
+            block = self.blocks.get(block_id)
+            if block is None:
+                raise SimulationError(
+                    f"datanode {self.name} does not hold block {block_id}")
+            self.bytes_read += block.nbytes
+            sizes_by_tier.setdefault(
+                self.block_storage[block_id], []).append(block.nbytes)
+        events = [self.volume(tier).read_many(sizes)
+                  for tier, sizes in sizes_by_tier.items()]
+        if len(events) == 1:
+            return events[0]
+        return self.env.all_of(events)
 
     def storage_type_of(self, block_id: int) -> Optional[str]:
         """Which tier holds this replica (None if absent)."""

@@ -69,22 +69,36 @@ class HdfsClient:
     def read(self, path: str):
         """Read a whole file, preferring local replicas.
 
+        Blocks served by the same DataNode are fetched as one coalesced
+        stream (one disk transfer per storage tier, one network hop for
+        everything remote) instead of one read + one hop per block —
+        the batched fast path for multi-block files.
+
         Returns (via process value) the list of block payloads in file
         order (``None`` entries for payload-less blocks).
         """
         nn = self.namenode
         meta = nn.file_meta(path)
-        payloads: List[Any] = []
+        #: DataNode name -> (datanode, [block, ...]) in first-use order.
+        by_datanode: dict = {}
         for block in meta.blocks:
             dn = self._pick_replica(block)
-            yield dn.read(block.block_id)
+            entry = by_datanode.get(dn.name)
+            if entry is None:
+                entry = by_datanode[dn.name] = (dn, [])
+            entry[1].append(block)
+        total_bytes = 0.0
+        for dn, blocks in by_datanode.values():
+            yield dn.read_many([b.block_id for b in blocks])
+            nbytes = sum(b.nbytes for b in blocks)
+            total_bytes += nbytes
             if self.local_node is not None and dn.name != self.local_node:
-                yield self.network.send(dn.name, self.local_node, block.nbytes)
-            tel = self.env.telemetry
-            if tel is not None:
-                tel.counter("hdfs.bytes_read").inc(block.nbytes)
-            payloads.append(block.payload)
-        return payloads
+                yield self.network.send_many(
+                    dn.name, self.local_node, [b.nbytes for b in blocks])
+        tel = self.env.telemetry
+        if tel is not None and meta.blocks:
+            tel.counter("hdfs.bytes_read").inc(total_bytes)
+        return [block.payload for block in meta.blocks]
 
     def read_block(self, block: Block):
         """Read a single block (used by MapReduce input splits)."""

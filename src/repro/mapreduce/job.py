@@ -3,9 +3,11 @@
 from __future__ import annotations
 
 import itertools
+from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
+from repro.hashing import stable_hash
 from repro.hdfs.cluster import HdfsCluster
 from repro.sim.engine import Environment
 from repro.yarn.cluster import YarnCluster
@@ -49,8 +51,12 @@ class MRJobSpec:
     map_memory_mb: int = 1024
     reduce_memory_mb: int = 1024
     am_memory_mb: int = 512
+    #: Default partitioner uses :func:`repro.hashing.stable_hash`, not
+    #: builtin ``hash`` — the builtin is salted per process for string
+    #: keys, which would shuffle the same job differently across pool
+    #: workers and break sweep determinism.
     partitioner: Callable[[Any, int], int] = field(
-        default=lambda key, n: hash(key) % n)
+        default=lambda key, n: stable_hash(key) % n)
     #: Task attempts before the job fails (MR's
     #: ``mapreduce.map.maxattempts``); failed tasks are re-run in fresh
     #: containers, as the MRAppMaster does.
@@ -65,6 +71,14 @@ class MRJobSpec:
     #:   directly reducer-ward over the high-performance interconnect,
     #:   bypassing the disk on both sides.
     shuffle_transport: str = "local"
+    #: Batch the reduce-side fetch into one disk read + one fabric
+    #: transfer per (map node -> reduce node) pair instead of one pair
+    #: of events per map task.  Byte counts and job output are
+    #: identical either way (the per-pair path exists for the
+    #: equivalence tests); coalescing cuts the simulated event count by
+    #: the maps-per-node factor and charges one transfer latency per
+    #: node, as a real batched fetch would.
+    coalesce_shuffle: bool = True
 
     def validate(self) -> None:
         if self.num_reducers < 1:
@@ -132,9 +146,9 @@ class MapReduceJob:
         records = self._records_of(payload)
         self.counters.map_input_records += len(records)
 
-        pairs: List[Tuple[Any, Any]] = []
-        for record in records:
-            pairs.extend(spec.mapper(record))
+        mapper = spec.mapper
+        pairs: List[Tuple[Any, Any]] = [
+            pair for record in records for pair in mapper(record)]
         self.counters.map_output_records += len(pairs)
 
         cpu = spec.map_cpu_per_record * len(records)
@@ -143,19 +157,25 @@ class MapReduceJob:
             yield self.env.timeout(node.compute_seconds(cpu))
 
         if spec.combiner is not None:
-            grouped: Dict[Any, list] = {}
+            grouped: Dict[Any, list] = defaultdict(list)
             for k, v in pairs:
-                grouped.setdefault(k, []).append(v)
-            pairs = []
-            for k in grouped:
-                for v in spec.combiner(k, grouped[k]):
-                    pairs.append((k, v))
+                grouped[k].append(v)
+            combiner = spec.combiner
+            pairs = [(k, v) for k, values in grouped.items()
+                     for v in combiner(k, values)]
             self.counters.combine_output_records += len(pairs)
 
-        partitions: Dict[int, list] = {}
-        for k, v in pairs:
-            partitions.setdefault(
-                spec.partitioner(k, spec.num_reducers), []).append((k, v))
+        # Partition assignment is memoised per key: the partitioner runs
+        # once per distinct key instead of once per pair.
+        partitions: Dict[int, list] = defaultdict(list)
+        partition_of: Dict[Any, int] = {}
+        partitioner, n_reducers = spec.partitioner, spec.num_reducers
+        for kv in pairs:
+            key = kv[0]
+            part = partition_of.get(key)
+            if part is None:
+                part = partition_of[key] = partitioner(key, n_reducers)
+            partitions[part].append(kv)
 
         spill_bytes = len(pairs) * spec.bytes_per_pair
         if spill_bytes > 0:
@@ -165,13 +185,47 @@ class MapReduceJob:
             elif spec.shuffle_transport == "lustre":
                 yield self.hdfs.machine.shared_fs.write(spill_bytes)
             # rdma: no spill — map output streams directly at fetch time
-        self._map_outputs[map_id] = (node_name, partitions)
+        self._map_outputs[map_id] = (node_name, dict(partitions))
 
-    def _run_reduce_task(self, partition: int, node_name: str):
-        """Reduce task body (generator): fetch, merge, reduce, write."""
+    def _fetch_coalesced(self, partition: int, node_name: str, fetched):
+        """Batched shuffle fetch: one disk read + one fabric transfer
+        per (map node -> reduce node) pair, regardless of how many map
+        tasks ran on that node.  Generator; extends ``fetched`` in map-id
+        order (identical pair order to the per-pair path)."""
         spec = self.spec
         machine = self.hdfs.machine
-        fetched: List[Tuple[Any, Any]] = []
+        #: map_node -> per-map-task chunk sizes, in first-seen (map id)
+        #: order so the transfer schedule is deterministic.
+        chunks_by_node: Dict[str, List[float]] = {}
+        for map_id, (map_node, partitions) in sorted(
+                self._map_outputs.items()):
+            pairs = partitions.get(partition, [])
+            if pairs:
+                chunks_by_node.setdefault(map_node, []).append(
+                    len(pairs) * spec.bytes_per_pair)
+            fetched.extend(pairs)
+
+        for map_node, sizes in chunks_by_node.items():
+            nbytes = sum(sizes)
+            if spec.shuffle_transport == "local":
+                src = machine.node_by_name(map_node)
+                yield src.local_disk.read_many(sizes)
+                yield machine.network.send_many(map_node, node_name, sizes)
+            elif spec.shuffle_transport == "lustre":
+                # read back from the shared filesystem; no explicit
+                # node-to-node hop (the FS *is* the transport)
+                yield machine.shared_fs.read_many(sizes)
+                machine.shared_fs.delete(nbytes)
+            else:  # rdma: direct memory-to-memory over the fabric
+                yield machine.network.send_many(map_node, node_name, sizes)
+            self.counters.shuffle_bytes += nbytes
+
+    def _fetch_per_pair(self, partition: int, node_name: str, fetched):
+        """Legacy shuffle fetch: one disk read + one transfer per
+        (map task, reduce task) pair.  Kept for the coalescing
+        equivalence tests.  Generator."""
+        spec = self.spec
+        machine = self.hdfs.machine
         for map_id, (map_node, partitions) in sorted(
                 self._map_outputs.items()):
             pairs = partitions.get(partition, [])
@@ -182,18 +236,30 @@ class MapReduceJob:
                     yield src.local_disk.read(nbytes)
                     yield machine.network.send(map_node, node_name, nbytes)
                 elif spec.shuffle_transport == "lustre":
-                    # read back from the shared filesystem; no explicit
-                    # node-to-node hop (the FS *is* the transport)
                     yield machine.shared_fs.read(nbytes)
                     machine.shared_fs.delete(nbytes)
-                else:  # rdma: direct memory-to-memory over the fabric
+                else:  # rdma
                     yield machine.network.send(map_node, node_name, nbytes)
                 self.counters.shuffle_bytes += nbytes
             fetched.extend(pairs)
 
-        grouped: Dict[Any, list] = {}
-        for k, v in sorted(fetched, key=lambda kv: repr(kv[0])):
-            grouped.setdefault(k, []).append(v)
+    def _run_reduce_task(self, partition: int, node_name: str):
+        """Reduce task body (generator): fetch, merge, reduce, write."""
+        spec = self.spec
+        machine = self.hdfs.machine
+        fetched: List[Tuple[Any, Any]] = []
+        if spec.coalesce_shuffle:
+            yield from self._fetch_coalesced(partition, node_name, fetched)
+        else:
+            yield from self._fetch_per_pair(partition, node_name, fetched)
+
+        # Insertion-order grouping: the fetch order (sorted map ids) is
+        # deterministic, so no sort is needed — and the old
+        # ``sorted(..., key=repr)`` was an O(n log n · cost(repr)) tax
+        # on every reduce task.
+        grouped: Dict[Any, list] = defaultdict(list)
+        for k, v in fetched:
+            grouped[k].append(v)
         self.counters.reduce_input_groups += len(grouped)
 
         cpu = spec.reduce_cpu_per_record * len(fetched)
@@ -201,9 +267,9 @@ class MapReduceJob:
             node = machine.node_by_name(node_name)
             yield self.env.timeout(node.compute_seconds(cpu))
 
-        results = []
-        for k in grouped:
-            results.extend(spec.reducer(k, grouped[k]))
+        reducer = spec.reducer
+        results = [out for k, values in grouped.items()
+                   for out in reducer(k, values)]
         self.counters.reduce_output_records += len(results)
         self.output[partition] = results
 

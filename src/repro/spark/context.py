@@ -14,6 +14,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.hashing import stable_hash
 from repro.sim.engine import Environment, SimulationError
 from repro.spark.master import ExecutorInfo, SparkMaster
 from repro.spark.rdd import RDD, ParallelCollectionRDD, ShuffledRDD
@@ -76,6 +77,13 @@ class SparkContext:
         self._cache: Dict[Tuple[int, int], list] = {}
         self._stopped = False
         self._executor_rr = itertools.count()
+        #: Session-scoped RDD ids: a fresh context numbers from 1, so
+        #: sweep cells stay hermetic (no module-global counter state).
+        self._rdd_ids = itertools.count(1)
+
+    def next_rdd_id(self) -> int:
+        """Allocate the next RDD id (context-scoped, starts at 1)."""
+        return next(self._rdd_ids)
 
     # ------------------------------------------------------------ lifecycle
     def start(self):
@@ -196,15 +204,24 @@ class SparkContext:
 
             def body(task_ctx, _i=index):
                 records = yield from self.materialize(parent, _i, task_ctx)
+                # Bucket by stable_hash (not builtin hash: salted per
+                # process for strings), memoised per distinct key.
                 buckets: Dict[int, list] = {}
+                bucket_of: Dict[Any, int] = {}
+                n_buckets = dep.num_partitions
                 for record in records:
                     if not (isinstance(record, tuple) and len(record) == 2):
                         raise TypeError(
                             f"shuffle needs (key, value) pairs, got "
                             f"{record!r}")
-                    k, v = record
-                    buckets.setdefault(
-                        hash(k) % dep.num_partitions, []).append((k, v))
+                    k = record[0]
+                    b = bucket_of.get(k)
+                    if b is None:
+                        b = bucket_of[k] = stable_hash(k) % n_buckets
+                    bucket = buckets.get(b)
+                    if bucket is None:
+                        bucket = buckets[b] = []
+                    bucket.append(record)
                 nbytes = len(records) * self.conf.bytes_per_record
                 if nbytes > 0:
                     yield task_ctx.node.local_disk.write(nbytes)
@@ -227,25 +244,35 @@ class SparkContext:
         return records
 
     def shuffle_fetch(self, dep: ShuffledRDD, reduce_index: int, task_ctx):
-        """Fetch one reduce bucket from every map output.  Generator."""
+        """Fetch one reduce bucket from every map output.  Generator.
+
+        I/O is coalesced per map node: one disk read plus one fabric
+        transfer per (map node -> reduce node) pair, however many map
+        tasks ran there.  Pair order is by map-partition index —
+        identical to a per-map-task fetch — so downstream merge and
+        group results don't depend on the batching.
+        """
         outputs = self._shuffle_outputs.get(dep.shuffle_id)
         if outputs is None:
             raise SimulationError(
                 f"shuffle {dep.shuffle_id} has no map outputs (stage "
                 "ordering bug)")
-        machine_network = None
+        bytes_per_record = self.conf.bytes_per_record
+        #: map node -> per-map-task chunk sizes, first-seen order.
+        chunks_by_node: Dict[str, List[float]] = {}
         pairs: list = []
         for node_name, buckets in outputs:
             chunk = buckets.get(reduce_index, [])
-            nbytes = len(chunk) * self.conf.bytes_per_record
-            if nbytes > 0:
-                # read from the map node's disk, then cross the wire
-                source = self._node_by_name(node_name)
-                yield source.local_disk.read(nbytes)
-                if self.network is not None:
-                    yield self.network.send(node_name, task_ctx.node.name,
-                                            nbytes)
-            pairs.extend(chunk)
+            if chunk:
+                chunks_by_node.setdefault(node_name, []).append(
+                    len(chunk) * bytes_per_record)
+                pairs.extend(chunk)
+        dst = task_ctx.node.name
+        for node_name, sizes in chunks_by_node.items():
+            # read from the map node's disk, then cross the wire
+            yield self._node_by_name(node_name).local_disk.read_many(sizes)
+            if self.network is not None:
+                yield self.network.send_many(node_name, dst, sizes)
         return pairs
 
     def _node_by_name(self, name: str):

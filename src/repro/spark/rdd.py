@@ -8,19 +8,23 @@ real Python records.
 
 from __future__ import annotations
 
-import itertools
+from collections import defaultdict
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
-
-_rdd_ids = itertools.count(1)
 
 
 class RDD:
-    """Base class: lineage node with ``num_partitions`` partitions."""
+    """Base class: lineage node with ``num_partitions`` partitions.
+
+    RDD ids are allocated by the owning context (session-scoped), not a
+    module-global counter, so a fresh context always numbers from 1 —
+    what keeps independent sweep cells hermetic no matter what ran
+    earlier in the process.
+    """
 
     def __init__(self, ctx, num_partitions: int,
                  parent: Optional["RDD"] = None):
         self.ctx = ctx
-        self.rdd_id = next(_rdd_ids)
+        self.rdd_id = ctx.next_rdd_id()
         self.num_partitions = num_partitions
         self.parent = parent
         self._cached = False
@@ -28,15 +32,15 @@ class RDD:
     # -------------------------------------------------------- transformations
     def map(self, f: Callable[[Any], Any]) -> "RDD":
         """Element-wise transform (narrow)."""
-        return MappedRDD(self, lambda it: (f(x) for x in it))
+        return MappedRDD(self, lambda it: [f(x) for x in it])
 
     def filter(self, f: Callable[[Any], bool]) -> "RDD":
         """Keep elements where ``f`` holds (narrow)."""
-        return MappedRDD(self, lambda it: (x for x in it if f(x)))
+        return MappedRDD(self, lambda it: [x for x in it if f(x)])
 
     def flat_map(self, f: Callable[[Any], Iterable[Any]]) -> "RDD":
         """Map then flatten (narrow)."""
-        return MappedRDD(self, lambda it: (y for x in it for y in f(x)))
+        return MappedRDD(self, lambda it: [y for x in it for y in f(x)])
 
     def map_partitions(self, f: Callable[[Iterable[Any]], Iterable[Any]]) -> "RDD":
         """Whole-partition transform (narrow)."""
@@ -233,7 +237,10 @@ class MappedRDD(RDD):
     def compute_partition(self, index: int, task_ctx):
         records = yield from self.ctx.materialize(self.parent, index,
                                                   task_ctx)
-        return list(self.f(records))
+        out = self.f(records)
+        # The built-in transforms produce lists already; only user
+        # map_partitions generators need materializing.
+        return out if isinstance(out, list) else list(out)
 
 
 class UnionRDD(RDD):
@@ -298,13 +305,16 @@ class ShuffledRDD(RDD):
 
     def compute_partition(self, index: int, task_ctx):
         pairs = yield from self.ctx.shuffle_fetch(self, index, task_ctx)
-        merged: Dict[Any, Any] = {}
-        if self.combiner is not None:
+        combine = self.combiner
+        if combine is not None:
+            merged: Dict[Any, Any] = {}
+            get = merged.get
+            missing = object()
             for k, v in pairs:
-                merged[k] = v if k not in merged else self.combiner(
-                    merged[k], v)
+                cur = get(k, missing)
+                merged[k] = v if cur is missing else combine(cur, v)
             return list(merged.items())
-        groups: Dict[Any, List[Any]] = {}
+        groups: Dict[Any, List[Any]] = defaultdict(list)
         for k, v in pairs:
-            groups.setdefault(k, []).append(v)
+            groups[k].append(v)
         return list(groups.items())

@@ -1,0 +1,80 @@
+"""Default partitioner stability across processes.
+
+The seed's default partitioner used builtin ``hash``, which Python
+salts per process for str/bytes (PYTHONHASHSEED) — the same job could
+shuffle keys to different reducers in different pool workers, breaking
+``jobs=N == jobs=1`` sweep determinism.  The default is now
+:func:`repro.hashing.stable_hash` (crc32 of ``repr``), which must
+assign every key the same partition in every process.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.hashing import stable_hash
+from repro.mapreduce import MRJobSpec
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+_CHILD = """
+import json, sys
+sys.path.insert(0, {src!r})
+from repro.mapreduce import MRJobSpec
+spec = MRJobSpec(name="t", input_path="/i", output_path="/o",
+                 mapper=lambda r: [], reducer=lambda k, v: [],
+                 num_reducers=7)
+keys = [f"word-{{i}}" for i in range(50)] + [(1, "a"), 3, 2.5, None]
+print(json.dumps([spec.partitioner(k, 7) for k in keys]))
+"""
+
+
+def _child_assignments(hashseed: str):
+    out = subprocess.run(
+        [sys.executable, "-c", _CHILD.format(src=SRC)],
+        env={"PYTHONHASHSEED": hashseed, "PATH": "/usr/bin:/bin"},
+        capture_output=True, text=True, check=True)
+    return out.stdout.strip()
+
+
+def test_default_partitioner_stable_across_hash_seeds():
+    a = _child_assignments("1")
+    b = _child_assignments("2")
+    c = _child_assignments("random")
+    assert a == b == c
+
+
+def test_builtin_hash_is_salted_but_stable_hash_is_not():
+    """The regression this guards against: builtin hash of a str
+    differs between hash seeds; stable_hash never does."""
+    probe = ("import json; print(json.dumps("
+             "[hash('word-0'), __import__('zlib').crc32(b'word-0')]))")
+
+    def run(seed):
+        out = subprocess.run(
+            [sys.executable, "-c", probe],
+            env={"PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin"},
+            capture_output=True, text=True, check=True)
+        return out.stdout.strip()
+
+    import json
+    h1, crc1 = json.loads(run("1"))
+    h2, crc2 = json.loads(run("2"))
+    assert crc1 == crc2
+    assert h1 != h2  # builtin hash is salted: why it can't partition
+
+
+def test_stable_hash_distinguishes_types():
+    """repr-based hashing keeps 1 and 1.0 apart (builtin hash does
+    not), and handles unhashable-ish reprs of common key shapes."""
+    assert stable_hash(1) != stable_hash(1.0)
+    assert stable_hash("1") != stable_hash(1)
+    assert stable_hash(("a", 1)) == stable_hash(("a", 1))
+    assert 0 <= stable_hash("anything") < 2 ** 32
+
+
+def test_spec_default_partitioner_uses_stable_hash():
+    spec = MRJobSpec(name="t", input_path="/i", output_path="/o",
+                     mapper=lambda r: [], reducer=lambda k, v: [])
+    for key in ["alpha", 42, ("k", 3)]:
+        assert spec.partitioner(key, 11) == stable_hash(key) % 11

@@ -1,0 +1,45 @@
+"""RDD ids are session-scoped, not process-global.
+
+The seed allocated RDD ids from a module-global ``itertools.count``, so
+the ids (and therefore shuffle ids) an application saw depended on what
+had run earlier in the process — a hermeticity leak for parallel sweep
+cells sharing a worker.  Ids now come from the owning SparkContext.
+"""
+
+from tests.spark.test_spark import make_spark, run
+
+
+def test_fresh_context_numbers_rdds_from_one():
+    env1, _, ctx1 = make_spark()
+    a = ctx1.parallelize(range(10), 2)
+    b = a.map(lambda x: x + 1)
+    assert (a.rdd_id, b.rdd_id) == (1, 2)
+
+    # A second context in the same process starts over at 1, no matter
+    # how many RDDs the first one allocated.
+    env2, _, ctx2 = make_spark()
+    c = ctx2.parallelize(range(10), 2)
+    assert c.rdd_id == 1
+
+
+def test_shuffle_ids_hermetic_across_contexts():
+    """Same program -> same shuffle ids, independent of prior work."""
+
+    def build_and_run():
+        env, _, ctx = make_spark()
+        rdd = (ctx.parallelize([(i % 5, 1) for i in range(40)], 4)
+               .reduce_by_key(lambda a, b: a + b))
+        result = sorted(run(env, rdd.collect()))
+        return rdd.shuffle_id, result
+
+    first_id, first = build_and_run()
+    second_id, second = build_and_run()
+    assert first_id == second_id
+    assert first == second == [(k, 8) for k in range(5)]
+
+
+def test_ids_unique_within_a_context():
+    env, _, ctx = make_spark()
+    rdds = [ctx.parallelize(range(4), 2) for _ in range(5)]
+    ids = [r.rdd_id for r in rdds]
+    assert ids == sorted(set(ids)) == list(range(1, 6))
