@@ -27,7 +27,7 @@ def test_lustre_bandwidth_sweep(benchmark):
     # advantage decreases monotonically as the shared FS improves
     advantages = [r.yarn_advantage for r in
                   sorted(rows, key=lambda r: r.lustre_bw)]
-    assert all(b <= a + 0.02 for a, b in zip(advantages, advantages[1:]))
+    assert all(b <= a + 0.02 for a, b in zip(advantages, advantages[1:], strict=False))
     # YARN wins on the degraded end, loses on the fat end
     assert advantages[0] > 0.10
     assert advantages[-1] < 0.0

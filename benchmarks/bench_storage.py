@@ -27,7 +27,7 @@ def storage_sweep(machine_name: str, per_stream_bytes: float = 200e6):
             env = Environment()
             machine = Machine(env, experiment_machine(machine_name, nodes))
 
-            def stream(i):
+            def stream(i, target=target, machine=machine, nodes=nodes):
                 if target == "lustre":
                     volume = machine.shared_fs
                 else:

@@ -9,6 +9,7 @@ Usage::
     python -m repro all [--quick]        # everything above
     python -m repro trace [--out DIR]    # one traced K-Means run
     python -m repro sweep figure6 --jobs 4 --out results.json
+    python -m repro lint [--check]       # determinism linter (simlint)
 
 ``--quick`` restricts Figure 6 to the smallest and largest scenarios
 at 8 and 32 tasks (16 cells instead of 36).
@@ -20,6 +21,12 @@ and metrics files — see :mod:`repro.telemetry`.
 ``sweep`` runs a figure's cell grid over a process pool (parallel by
 default, ``--jobs 1`` for the sequential reference path) and writes a
 structured JSON result — see :mod:`repro.experiments.sweeps`.
+
+``lint`` runs simlint, the determinism linter, over the simulation
+sources (wall-clock calls, unseeded RNG, salted ``hash()``, module
+globals, unordered iteration, swallowed exceptions) — see
+:mod:`repro.analysis.simlint`.  ``--check`` makes new-vs-baseline
+findings a non-zero exit for CI.
 
 ``main`` returns the process exit code (0 success, 2 usage errors)
 instead of raising ``SystemExit``, so it doubles as the console-script
@@ -129,6 +136,15 @@ def _sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _lint(args: argparse.Namespace) -> int:
+    from repro.analysis.simlint import lint_command
+    return lint_command(
+        paths=args.paths, output=args.format, check=args.check,
+        baseline_path=args.baseline,
+        update_baseline=args.update_baseline,
+        list_rules=args.list_rules)
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -159,6 +175,27 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--out", default=None, metavar="FILE",
                        help="write the structured JSON result here")
 
+    lint = sub.add_parser(
+        "lint",
+        help="run simlint, the determinism linter, over the sources")
+    lint.add_argument("paths", nargs="*", default=["src/repro"],
+                      help="files or directories to lint "
+                           "(default: src/repro)")
+    lint.add_argument("--format", default="text",
+                      choices=["text", "json"], dest="format",
+                      help="finding output format")
+    lint.add_argument("--check", action="store_true",
+                      help="exit 1 when findings differ from the "
+                           "baseline (CI mode)")
+    lint.add_argument("--baseline", default="simlint-baseline.json",
+                      metavar="FILE",
+                      help="baseline file of accepted findings")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="rewrite the baseline from this run's "
+                           "findings")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="list the registered rules and exit")
+
     trace = sub.add_parser(
         "trace",
         help="run one telemetry-enabled K-Means cell and export traces")
@@ -185,6 +222,8 @@ def main(argv=None) -> int:
         code = exc.code
         return code if isinstance(code, int) else 2
 
+    if args.command == "lint":
+        return _lint(args)
     if args.command == "trace":
         return _trace(args)
     if args.command == "sweep":

@@ -1,0 +1,50 @@
+"""Static and runtime correctness tooling for the reproduction.
+
+Two complementary layers make reproducibility a *checked* property
+instead of a reviewed one:
+
+* :mod:`repro.analysis.simlint` — an AST-based determinism linter with
+  a rule registry (:data:`repro.analysis.rules.RULES`, codes
+  ``SIM001``-``SIM006``), inline suppressions and a committed
+  baseline.  Run it with ``python -m repro lint [--check]``.
+* :mod:`repro.analysis.sanitizer` — :class:`SimSanitizer`, composable
+  runtime invariant checkers over the scheduler, bandwidth pipes,
+  YARN and HDFS, switched on with ``REPRO_SANITIZE=1`` or
+  ``Session(sanitize=True)`` and reported through
+  :mod:`repro.telemetry`.
+"""
+
+from repro.analysis.rules import RULES, Rule
+from repro.analysis.sanitizer import (
+    InvariantViolation,
+    SimSanitizer,
+    sanitize_enabled,
+)
+from repro.analysis.simlint import (
+    Baseline,
+    BaselineEntry,
+    Finding,
+    format_json,
+    format_text,
+    lint_command,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "Finding",
+    "InvariantViolation",
+    "RULES",
+    "Rule",
+    "SimSanitizer",
+    "format_json",
+    "format_text",
+    "lint_command",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "sanitize_enabled",
+]

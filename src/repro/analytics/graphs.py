@@ -78,7 +78,7 @@ def count_triangles_local(edges: Sequence[Edge]) -> int:
     for u, v in oriented:
         adjacency.setdefault(u, set()).add(v)
     triangles = 0
-    for u, outs in adjacency.items():
+    for _u, outs in adjacency.items():
         # pairs ordered by RANK: the closing edge, if present, goes
         # from the rank-lower to the rank-higher target
         outs_list = sorted(outs, key=rank.__getitem__)

@@ -108,7 +108,7 @@ def run_replica_exchange(umgr, temperatures: List[float],
 
     for round_index in range(rounds):
         descs = []
-        for r, (x0, temp) in enumerate(zip(positions, temperatures)):
+        for r, (x0, temp) in enumerate(zip(positions, temperatures, strict=True)):
             descs.append(ComputeUnitDescription(
                 executable="repex_replica",
                 arguments=(f"--T={temp}", f"--round={round_index}"),

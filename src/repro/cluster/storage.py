@@ -18,9 +18,11 @@ finishes exactly when ``V`` reaches its *finish credit*
 advance plus a heap push/pop — O(log n) — instead of decrementing and
 rescanning every active transfer (O(n) per change, O(n²) per burst).
 The per-stream cap keeps rates piecewise-constant, so the credit
-algebra reproduces the full-scan model's completion times; construct
-with ``debug=True`` to cross-check the credits against a shadow
-full-scan ledger on every state change.
+algebra reproduces the full-scan model's completion times; when the
+environment's :class:`~repro.analysis.sanitizer.SimSanitizer` is
+installed (``REPRO_SANITIZE=1`` / ``Session(sanitize=True)``) the
+credits are cross-checked against a shadow full-scan ledger on every
+state change (``debug=True`` is the deprecated per-instance alias).
 
 :class:`StorageVolume` couples a pipe with a capacity counter and a
 flat per-operation latency (metadata round-trip for Lustre, seek for
@@ -30,10 +32,12 @@ local disks).
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
 from heapq import heappop as _heappop, heappush as _heappush
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.analysis.sanitizer import SimSanitizer
 from repro.sim.engine import Environment, Event, SimulationError
 
 #: Convenience byte-size constants.
@@ -83,10 +87,33 @@ class SharedBandwidthPipe:
         self._next_id = 0
         self._last_update = env.now
         self._wake_generation = 0
-        self.debug = debug
-        #: Shadow full-scan ledger (tid -> remaining), debug mode only.
+        if debug:
+            warnings.warn(
+                "SharedBandwidthPipe(debug=True) is deprecated; install "
+                "the SimSanitizer instead (REPRO_SANITIZE=1 or "
+                "Session(sanitize=True))", DeprecationWarning,
+                stacklevel=2)
+        self.debug = bool(debug)
+        self._own_sanitizer = SimSanitizer(env) if debug else None
+        #: Shadow full-scan ledger (tid -> remaining), maintained while
+        #: checking is active (sanitizer installed or debug=True).
         self._shadow: Dict[int, float] = {}
+        #: Whether the shadow ledger covers every in-flight transfer.
+        #: A sanitizer installed mid-flight starts unsynced; the ledger
+        #: is then rebuilt exactly from the finish credits.
+        self._shadow_synced = True
         self.bytes_moved = 0.0  # lifetime accounting, for benchmarks
+
+    def _sync_shadow(self) -> None:
+        """(Re)build the shadow ledger from the finish credits.
+
+        ``credit - V`` *is* the exact full-scan remainder, so a checker
+        that appears while transfers are in flight starts from a ledger
+        identical to one maintained from the beginning.
+        """
+        self._shadow = {tid: credit - self._virtual
+                        for credit, tid, _ in self._heap}
+        self._shadow_synced = True
 
     # -- public API --------------------------------------------------------
     @property
@@ -126,8 +153,12 @@ class SharedBandwidthPipe:
         # whole pipe in one progress domain.
         work = float(nbytes) + self.latency * self._single_stream_rate()
         _heappush(self._heap, (self._virtual + work, tid, event))
-        if self.debug:
+        if self.env.sanitizer is not None or self._own_sanitizer is not None:
+            if not self._shadow_synced:
+                self._sync_shadow()
             self._shadow[tid] = work
+        else:
+            self._shadow_synced = False
         self._reschedule()
         return event
 
@@ -174,22 +205,29 @@ class SharedBandwidthPipe:
             return
         advanced = self.current_rate() * dt
         self._virtual += advanced
-        if self.debug:
-            for tid in self._shadow:
-                self._shadow[tid] -= advanced
-            self._debug_check()
+        checker = self.env.sanitizer or self._own_sanitizer
+        if checker is not None:
+            if self._shadow_synced:
+                for tid in self._shadow:
+                    self._shadow[tid] -= advanced
+                checker.check_pipe(self)
+            else:
+                self._sync_shadow()
+        else:
+            # Checking off: the ledger no longer covers the in-flight
+            # set; a later re-enable resyncs from the credits.
+            if self._shadow:
+                self._shadow.clear()
+            self._shadow_synced = False
 
     def _debug_check(self) -> None:
-        """Assert credit-derived remainders against the shadow ledger."""
-        assert len(self._shadow) == len(self._heap), (
-            f"shadow ledger holds {len(self._shadow)} transfers, "
-            f"heap {len(self._heap)}")
-        for credit, tid, _ in self._heap:
-            fast = credit - self._virtual
-            slow = self._shadow[tid]
-            assert abs(fast - slow) <= 1e-6 * max(1.0, abs(credit)), (
-                f"transfer {tid}: credit accounting {fast} diverged from "
-                f"full-scan ledger {slow}")
+        """Deprecated alias for the SimSanitizer pipe checker."""
+        warnings.warn(
+            "SharedBandwidthPipe._debug_check is deprecated; use "
+            "SimSanitizer.check_pipe", DeprecationWarning, stacklevel=2)
+        if not self._shadow_synced:
+            self._sync_shadow()
+        (self.env.sanitizer or SimSanitizer(self.env)).check_pipe(self)
 
     def _reschedule(self) -> None:
         """Schedule a wake-up at the earliest projected completion."""
@@ -198,8 +236,8 @@ class SharedBandwidthPipe:
             # Idle: reset the virtual clock so credits never accumulate
             # floating-point headroom across busy periods.
             self._virtual = 0.0
-            if self.debug:
-                self._shadow.clear()
+            self._shadow.clear()
+            self._shadow_synced = True
             return
         generation = self._wake_generation
         rate = self.current_rate()
@@ -225,8 +263,7 @@ class SharedBandwidthPipe:
             heap = self._heap
             while heap and heap[0][0] <= floor:
                 _, tid, event = _heappop(heap)
-                if self.debug:
-                    self._shadow.pop(tid, None)
+                self._shadow.pop(tid, None)
                 event.succeed()
             self._reschedule()
 

@@ -205,7 +205,7 @@ class Agent:
             # stage-in
             self._advance_unit(uid, UnitState.AGENT_STAGING_INPUT)
             _phase("stage_in")
-            for path, nbytes in desc.input_staging:
+            for path, _nbytes in desc.input_staging:
                 if not self.site.scratch.exists(path):
                     raise ExecutionError(f"stage-in missing: {path}")
                 yield self.site.scratch.read(path)

@@ -14,9 +14,11 @@ Two of the paper's schedulers:
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
+from repro.analysis.sanitizer import SimSanitizer
 from repro.cluster.node import Node
 from repro.sim.engine import Environment, Event, SimulationError
 
@@ -58,6 +60,12 @@ class ContinuousScheduler:
     ``"spread"`` picks the node with the most free cores (what the
     paper's task/node ratios imply: 8 tasks on 1 node, 16 on 2, 32 on
     3 spreads evenly).
+
+    Counter cross-checks run whenever the environment's
+    :class:`~repro.analysis.sanitizer.SimSanitizer` is installed
+    (``REPRO_SANITIZE=1`` / ``Session(sanitize=True)``).  The
+    ``debug=True`` kwarg is a deprecated alias that forces the same
+    checks on for this instance alone.
     """
 
     def __init__(self, env: Environment, nodes: List[Node],
@@ -66,10 +74,19 @@ class ContinuousScheduler:
             raise SimulationError("scheduler needs nodes")
         if policy not in ("pack", "spread"):
             raise SimulationError(f"unknown placement policy {policy!r}")
+        if debug:
+            warnings.warn(
+                "ContinuousScheduler(debug=True) is deprecated; install "
+                "the SimSanitizer instead (REPRO_SANITIZE=1 or "
+                "Session(sanitize=True))", DeprecationWarning,
+                stacklevel=2)
         self.env = env
         self.nodes = list(nodes)
         self.policy = policy
-        self.debug = debug
+        self.debug = bool(debug)
+        #: Per-instance checker used when debug=True forces checks on
+        #: without an installed sanitizer.
+        self._own_sanitizer = SimSanitizer(env) if debug else None
         self._free: Dict[str, int] = {n.name: n.num_cores for n in nodes}
         self._queue: Deque[Tuple[int, Event]] = deque()
         # Capacity totals are maintained incrementally: the node set is
@@ -146,22 +163,18 @@ class ContinuousScheduler:
                 self._waiting -= 1
                 event.succeed(self._carve(cores))
         finally:
-            if self.debug:
-                self._debug_check()
+            sanitizer = self.env.sanitizer or self._own_sanitizer
+            if sanitizer is not None:
+                sanitizer.check_scheduler(self)
             self._report()
 
     def _debug_check(self) -> None:
-        """Assert the incremental counters against a fresh re-summation."""
-        assert self._free_cores == sum(self._free.values()), (
-            f"free-core counter {self._free_cores} != "
-            f"map total {sum(self._free.values())}")
-        assert self._total_cores == sum(n.num_cores for n in self.nodes), (
-            "total_cores cache diverged from the node set")
-        assert 0 <= self._free_cores <= self._total_cores
-        assert self._waiting == sum(
-            1 for _, e in self._queue if not e.triggered), (
-            f"queue-depth counter {self._waiting} != "
-            f"scan {sum(1 for _, e in self._queue if not e.triggered)}")
+        """Deprecated alias for the SimSanitizer scheduler checker."""
+        warnings.warn(
+            "ContinuousScheduler._debug_check is deprecated; use "
+            "SimSanitizer.check_scheduler", DeprecationWarning,
+            stacklevel=2)
+        (self.env.sanitizer or SimSanitizer(self.env)).check_scheduler(self)
 
     def _spread_order(self) -> List[Node]:
         """Nodes by descending free cores, memoised until occupancy moves.
@@ -282,6 +295,9 @@ class YarnAgentScheduler:
                 event.succeed(SlotAllocation([], memory_mb=need_mb,
                                              cores=cores))
         finally:
+            sanitizer = self.env.sanitizer
+            if sanitizer is not None:
+                sanitizer.check_yarn_agent_scheduler(self)
             self._report(metrics)
 
     def _report(self, metrics: Dict[str, float]) -> None:

@@ -200,7 +200,7 @@ class ComputeDataService:
         source = du.replicas[0]
         cross_site = source.site.hostname != target.site.hostname
         target._charge(du.nbytes)
-        for filename, nbytes in du.description.files:
+        for filename, _nbytes in du.description.files:
             yield copy_file(
                 self.env,
                 source.site.scratch, source.path_for(du.uid, filename),

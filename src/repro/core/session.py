@@ -5,6 +5,7 @@ from __future__ import annotations
 import itertools
 from typing import Optional
 
+from repro.analysis.sanitizer import SimSanitizer, sanitize_enabled
 from repro.core.db import Database
 from repro.saga.registry import Registry, default_registry
 from repro.sim.engine import Environment
@@ -17,21 +18,37 @@ class Session:
     Owns the simulation environment, the shared MongoDB stand-in, the
     SAGA site registry and the seeded RNG registry — everything the
     Pilot-Manager, Unit-Manager and agents need to find each other.
-    """
 
-    _seq = itertools.count(1)
+    ``sanitize`` arms the :class:`~repro.analysis.sanitizer.SimSanitizer`
+    runtime invariant checkers on the session's environment; the
+    default (``None``) inherits the ``REPRO_SANITIZE`` environment
+    variable, and ``False`` forces them off.
+    """
 
     def __init__(self, env: Environment,
                  registry: Optional[Registry] = None,
                  db: Optional[Database] = None,
-                 seed: int = 42):
+                 seed: int = 42,
+                 sanitize: Optional[bool] = None):
         self.env = env
-        self.uid = f"session.{next(Session._seq):04d}"
+        # Derived from the seed, not a process-global counter: the uid
+        # is cosmetic (repr/log labels; entity uids come from next_uid
+        # below) and a counter would make it depend on how many
+        # sessions ran earlier in the process.
+        self.uid = f"session.{seed:04d}"
         self.registry = registry or default_registry()
         self.db = db or Database(env)
         self.rng = SeedSequenceRegistry(seed)
         self.closed = False
         self._uid_counters: dict[str, itertools.count] = {}
+        if sanitize or (sanitize is None and sanitize_enabled()):
+            SimSanitizer.install(env)
+        elif sanitize is False and env.sanitizer is not None:
+            # Explicit opt-out beats the REPRO_SANITIZE default, but a
+            # sanitizer somebody installed by hand is left alone when
+            # ``sanitize`` is None.
+            SimSanitizer.uninstall(env)
+        self.sanitizer = env.sanitizer
 
     def next_uid(self, prefix: str, width: int = 4) -> str:
         """Session-scoped entity uids (``pilot.0001``, ``unit.000001``...).

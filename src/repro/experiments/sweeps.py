@@ -239,9 +239,11 @@ def run_cell(cell: SweepCell) -> Dict[str, Any]:
     Top-level and picklable by name, so it doubles as the process-pool
     work function.
     """
-    t0 = time.perf_counter()
+    # Host-side wall time of the runner, reported but never fed back
+    # into the simulation — results stay seed-deterministic.
+    t0 = time.perf_counter()  # simlint: disable=SIM001
     rows = _CELL_RUNNERS[cell.grid](cell)
-    wall = time.perf_counter() - t0
+    wall = time.perf_counter() - t0  # simlint: disable=SIM001
     return {"key": cell.key, "seed": cell.seed, "rows": rows,
             "wall_seconds": wall, "pid": os.getpid()}
 
@@ -304,7 +306,8 @@ def run_sweep(grid: str, root_seed: int = 42, jobs: Optional[int] = None,
         jobs = os.cpu_count() or 1
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
-    t0 = time.perf_counter()
+    # Host-side sweep wall time (progress reporting only, not results).
+    t0 = time.perf_counter()  # simlint: disable=SIM001
     if jobs == 1 or len(cells) <= 1:
         results = [run_cell(cell) for cell in cells]
     else:
@@ -312,6 +315,6 @@ def run_sweep(grid: str, root_seed: int = 42, jobs: Optional[int] = None,
             # Ordered aggregation: executor.map yields results in
             # submission order no matter which worker finishes first.
             results = list(ex.map(run_cell, cells))
-    wall = time.perf_counter() - t0
+    wall = time.perf_counter() - t0  # simlint: disable=SIM001
     return SweepRun(grid=grid, root_seed=root_seed, jobs=jobs,
                     results=results, wall_seconds=wall)

@@ -25,11 +25,11 @@ def format_table(headers: Sequence[str],
     widths = [max(len(h), *(len(r[i]) for r in rendered)) if rendered
               else len(h) for i, h in enumerate(headers)]
     lines = [
-        " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        " | ".join(h.ljust(w) for h, w in zip(headers, widths, strict=True)),
         "-+-".join("-" * w for w in widths),
     ]
     for row in rendered:
-        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths, strict=True)))
     return "\n".join(lines)
 
 

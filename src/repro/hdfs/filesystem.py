@@ -50,7 +50,7 @@ class HdfsClient:
             storage_types = nn.replica_storage_types(path, len(targets))
             source = self.local_node or "client"
             writes = []
-            for dn, storage_type in zip(targets, storage_types):
+            for dn, storage_type in zip(targets, storage_types, strict=True):
                 if dn.name != source:
                     yield self.network.send(source, dn.name, block.nbytes)
                 writes.append(dn.store(block, storage_type))

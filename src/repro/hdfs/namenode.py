@@ -184,6 +184,9 @@ class NameNode:
     def commit_block(self, block: Block, node_names: List[str]) -> None:
         """Record a block's replicas in the block map."""
         self.block_map[block.block_id] = list(node_names)
+        sanitizer = self.env.sanitizer
+        if sanitizer is not None:
+            sanitizer.check_namenode(self)
 
     def commit_file(self, path: str, blocks: List[Block]) -> None:
         self.files[path] = FileMeta(path=path, blocks=list(blocks))
@@ -212,6 +215,9 @@ class NameNode:
         tel = self.env.telemetry
         if tel is not None:
             tel.emit("hdfs", "file_deleted", path=path)
+        sanitizer = self.env.sanitizer
+        if sanitizer is not None:
+            sanitizer.check_namenode(self)
 
     # --------------------------------------------------------- replication
     def under_replicated(self) -> List[Block]:
@@ -257,6 +263,9 @@ class NameNode:
             self.block_map[block.block_id] = [
                 n for n in self.block_map[block.block_id] if n != node_name
             ] + [target.name]
+            sanitizer = self.env.sanitizer
+            if sanitizer is not None:
+                sanitizer.check_namenode(self)
             tel = self.env.telemetry
             if tel is not None:
                 tel.counter("hdfs.bytes_rereplicated").inc(block.nbytes)

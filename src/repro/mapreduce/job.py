@@ -197,7 +197,7 @@ class MapReduceJob:
         #: map_node -> per-map-task chunk sizes, in first-seen (map id)
         #: order so the transfer schedule is deterministic.
         chunks_by_node: Dict[str, List[float]] = {}
-        for map_id, (map_node, partitions) in sorted(
+        for _map_id, (map_node, partitions) in sorted(
                 self._map_outputs.items()):
             pairs = partitions.get(partition, [])
             if pairs:
@@ -226,7 +226,7 @@ class MapReduceJob:
         equivalence tests.  Generator."""
         spec = self.spec
         machine = self.hdfs.machine
-        for map_id, (map_node, partitions) in sorted(
+        for _map_id, (map_node, partitions) in sorted(
                 self._map_outputs.items()):
             pairs = partitions.get(partition, [])
             nbytes = len(pairs) * spec.bytes_per_pair

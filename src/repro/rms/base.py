@@ -214,10 +214,20 @@ class BatchScheduler:
                         proc.interrupt(cause="walltime")
                         try:
                             yield proc
-                        except BaseException:
+                        except Interrupt:
+                            # The interrupt we just injected, unwinding
+                            # back out of the payload.
                             pass
+                        except Exception as exc:
+                            # Payload teardown failed on its own; the
+                            # outcome is still TIMEOUT but the wreckage
+                            # is recorded rather than swallowed.
+                            reason = f"payload teardown raised {exc!r}"
                     outcome_state = JobState.TIMEOUT
-                    reason = "walltime exceeded"
+                    if reason is None:
+                        reason = "walltime exceeded"
+                    else:
+                        reason = f"walltime exceeded; {reason}"
             except Interrupt as exc:
                 if exc.cause == "canceled":
                     outcome_state = JobState.CANCELED

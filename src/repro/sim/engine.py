@@ -9,6 +9,7 @@ for simultaneous events — crucial for reproducible benchmarks.
 
 from __future__ import annotations
 
+import os
 from heapq import heappop as _heappop, heappush as _heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
@@ -301,6 +302,10 @@ class Environment:
 
     #: Set by :func:`repro.telemetry.install`; ``None`` = disabled.
     telemetry = None
+    #: Set by :meth:`repro.analysis.sanitizer.SimSanitizer.install`;
+    #: ``None`` = disabled.  Instrumented components pay one attribute
+    #: load and a branch when off, exactly like telemetry.
+    sanitizer = None
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
@@ -308,6 +313,17 @@ class Environment:
         self._seq = 0
         self._active_process: Optional[Process] = None
         self._crashed: Optional[BaseException] = None
+        # One switch for the whole stack: REPRO_SANITIZE=1 arms the
+        # runtime invariant checkers on every environment.  The import
+        # is lazy and only attempted when the variable is set at all,
+        # so the common path costs a single dict lookup.
+        if os.environ.get("REPRO_SANITIZE"):
+            from repro.analysis.sanitizer import (
+                SimSanitizer,
+                sanitize_enabled,
+            )
+            if sanitize_enabled():
+                SimSanitizer.install(self)
 
     @property
     def now(self) -> float:

@@ -77,7 +77,7 @@ class RDD:
             records = list(it)
             rng = _np.random.default_rng(_s)
             keep = rng.random(len(records)) < _f
-            return [r for r, k in zip(records, keep) if k]
+            return [r for r, k in zip(records, keep, strict=True) if k]
 
         return MappedRDD(self, sampler)
 

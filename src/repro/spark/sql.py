@@ -38,7 +38,7 @@ class GroupedData:
 
         Output rows carry the group key plus ``<col>_<agg>`` columns.
         """
-        for column, how in aggregations.items():
+        for how in aggregations.values():
             if how not in _AGGREGATES:
                 raise ValueError(
                     f"unknown aggregate {how!r}; known: "

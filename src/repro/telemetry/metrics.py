@@ -108,7 +108,7 @@ class Gauge(Metric):
             return 0.0
         end = self.env.now if until is None else until
         total = 0.0
-        for (t0, v), (t1, _) in zip(self.samples, self.samples[1:]):
+        for (t0, v), (t1, _) in zip(self.samples, self.samples[1:], strict=False):
             total += v * (t1 - t0)
         last_t, last_v = self.samples[-1]
         total += last_v * max(0.0, end - last_t)
@@ -174,7 +174,7 @@ class Histogram(Metric):
             return None
         target = q * self.count
         seen = 0
-        for bound, c in zip(self.bounds, self.bucket_counts()):
+        for bound, c in zip(self.bounds, self.bucket_counts(), strict=False):
             seen += c
             if seen >= target:
                 return bound

@@ -322,6 +322,9 @@ class ResourceManager:
             if budget <= 0 or \
                     nm.available.memory_mb < self.config.min_allocation_mb:
                 break
+        sanitizer = self.env.sanitizer
+        if sanitizer is not None:
+            sanitizer.check_resource_manager(self)
 
     def _allocate(self, app: AppRecord, request: ContainerRequest,
                   nm: NodeManager) -> None:
@@ -400,6 +403,9 @@ class ResourceManager:
             app.usage = app.usage.minus(container.resource)
         if container is not app.am_container:
             app.completed.append(container)
+        sanitizer = self.env.sanitizer
+        if sanitizer is not None:
+            sanitizer.check_resource_manager(self)
 
     # ---------------------------------------------------------- preemption
     def preempt_containers(self, app_id: str, count: int) -> List[str]:

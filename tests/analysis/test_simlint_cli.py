@@ -1,0 +1,97 @@
+"""The ``python -m repro lint`` CLI: exit codes, JSON output, the
+baseline ledger, and the committed-baseline-freshness contract."""
+
+import json
+from pathlib import Path
+
+from repro.__main__ import main
+from repro.analysis.simlint import Baseline, lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+CLEAN = "def run(env):\n    return env.now\n"
+DIRTY = "import time\n\ndef run(env):\n    return time.time()\n"
+
+
+def write_tree(tmp_path, source):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "mod.py").write_text(source)
+    return pkg
+
+
+def test_report_mode_always_exits_zero(tmp_path, capsys):
+    pkg = write_tree(tmp_path, DIRTY)
+    assert main(["lint", str(pkg),
+                 "--baseline", str(tmp_path / "b.json")]) == 0
+    out = capsys.readouterr().out
+    assert "SIM001" in out and "1 finding(s)" in out
+
+
+def test_check_mode_fails_on_new_finding(tmp_path, capsys):
+    pkg = write_tree(tmp_path, DIRTY)
+    assert main(["lint", str(pkg), "--check",
+                 "--baseline", str(tmp_path / "b.json")]) == 1
+    assert "SIM001" in capsys.readouterr().out
+
+
+def test_check_mode_passes_on_clean_tree(tmp_path, capsys):
+    pkg = write_tree(tmp_path, CLEAN)
+    assert main(["lint", str(pkg), "--check",
+                 "--baseline", str(tmp_path / "b.json")]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_update_baseline_then_check_passes(tmp_path, capsys):
+    pkg = write_tree(tmp_path, DIRTY)
+    baseline = tmp_path / "b.json"
+    assert main(["lint", str(pkg), "--update-baseline",
+                 "--baseline", str(baseline)]) == 0
+    capsys.readouterr()
+    assert main(["lint", str(pkg), "--check",
+                 "--baseline", str(baseline)]) == 0
+
+
+def test_check_mode_fails_on_stale_baseline_entry(tmp_path, capsys):
+    pkg = write_tree(tmp_path, DIRTY)
+    baseline = tmp_path / "b.json"
+    assert main(["lint", str(pkg), "--update-baseline",
+                 "--baseline", str(baseline)]) == 0
+    (pkg / "mod.py").write_text(CLEAN)  # the finding no longer reproduces
+    capsys.readouterr()
+    assert main(["lint", str(pkg), "--check",
+                 "--baseline", str(baseline)]) == 1
+    assert "stale baseline entry" in capsys.readouterr().out
+
+
+def test_json_output_round_trips(tmp_path, capsys):
+    pkg = write_tree(tmp_path, DIRTY)
+    assert main(["lint", str(pkg), "--format", "json",
+                 "--baseline", str(tmp_path / "b.json")]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == 1
+    assert set(payload["rules"]) >= {"SIM001", "SIM002", "SIM003",
+                                     "SIM004", "SIM005", "SIM006"}
+    (finding,) = payload["findings"]
+    assert finding["code"] == "SIM001"
+    assert finding["path"].endswith("pkg/mod.py")
+    assert finding["line"] == 4
+
+
+def test_list_rules_prints_catalogue(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("SIM001", "SIM002", "SIM003", "SIM004", "SIM005",
+                 "SIM006"):
+        assert code in out
+
+
+def test_committed_baseline_matches_fresh_scan():
+    """The repo's own sources lint clean against the committed baseline:
+    no new findings, no stale entries.  This is exactly the CI gate."""
+    findings = lint_paths([REPO_ROOT / "src" / "repro"],
+                          relative_to=REPO_ROOT)
+    baseline = Baseline.load(REPO_ROOT / "simlint-baseline.json")
+    new, stale = baseline.split(findings)
+    assert new == [], "\n".join(f.render() for f in new)
+    assert stale == [], [e.key for e in stale]

@@ -1,0 +1,212 @@
+"""Per-rule fixture tests: each SIM code flags its hazard and stays
+quiet on the idiomatic alternative."""
+
+import pytest
+
+from repro.analysis.simlint import lint_source
+
+
+def codes(source, only=None):
+    return [f.code for f in lint_source(source, rules=only)]
+
+
+# ------------------------------------------------------------- SIM001
+def test_sim001_flags_wall_clock_calls():
+    src = (
+        "import time\n"
+        "def run(env):\n"
+        "    t0 = time.perf_counter()\n"
+        "    time.sleep(1)\n"
+        "    return time.time() - t0\n"
+    )
+    assert codes(src, ["SIM001"]) == ["SIM001"] * 3
+
+
+def test_sim001_flags_datetime_now_variants():
+    src = (
+        "import datetime\n"
+        "a = datetime.datetime.now()\n"
+        "b = datetime.date.today()\n"
+    )
+    assert codes(src, ["SIM001"]) == ["SIM001", "SIM001"]
+
+
+def test_sim001_quiet_on_env_now():
+    src = (
+        "def run(env):\n"
+        "    start = env.now\n"
+        "    yield env.timeout(3.0)\n"
+        "    return env.now - start\n"
+    )
+    assert codes(src, ["SIM001"]) == []
+
+
+# ------------------------------------------------------------- SIM002
+def test_sim002_flags_global_random_module():
+    src = (
+        "import random\n"
+        "x = random.random()\n"
+        "random.shuffle([1, 2])\n"
+    )
+    assert codes(src, ["SIM002"]) == ["SIM002", "SIM002"]
+
+
+def test_sim002_flags_from_import_and_numpy_global():
+    src = (
+        "from random import shuffle\n"
+        "import numpy as np\n"
+        "shuffle([1, 2])\n"
+        "y = np.random.uniform(size=3)\n"
+    )
+    assert codes(src, ["SIM002"]) == ["SIM002", "SIM002"]
+
+
+def test_sim002_flags_unseeded_random_instance():
+    assert codes("import random\nr = random.Random()\n",
+                 ["SIM002"]) == ["SIM002"]
+
+
+def test_sim002_quiet_on_seeded_streams():
+    src = (
+        "import random\n"
+        "import numpy as np\n"
+        "r = random.Random(42)\n"
+        "g = np.random.default_rng(7)\n"
+        "z = g.uniform(size=3)\n"
+    )
+    assert codes(src, ["SIM002"]) == []
+
+
+# ------------------------------------------------------------- SIM003
+def test_sim003_flags_builtin_hash():
+    assert codes("part = hash(key) % n\n", ["SIM003"]) == ["SIM003"]
+
+
+def test_sim003_quiet_on_stable_hash():
+    src = (
+        "from repro.hashing import stable_hash\n"
+        "part = stable_hash(key) % n\n"
+    )
+    assert codes(src, ["SIM003"]) == []
+
+
+# ------------------------------------------------------------- SIM004
+def test_sim004_flags_module_and_class_counters():
+    src = (
+        "import itertools\n"
+        "_ids = itertools.count(1)\n"
+        "class Thing:\n"
+        "    _seq = itertools.count(1)\n"
+    )
+    assert codes(src, ["SIM004"]) == ["SIM004", "SIM004"]
+
+
+def test_sim004_flags_lowercase_mutable_and_global():
+    src = (
+        "cache = {}\n"
+        "def bump():\n"
+        "    global cache\n"
+        "    cache = {}\n"
+    )
+    assert codes(src, ["SIM004"]) == ["SIM004", "SIM004"]
+
+
+def test_sim004_quiet_on_constants_and_instance_state():
+    src = (
+        "import itertools\n"
+        "POLICIES = {'HOT': 1}\n"
+        "class Thing:\n"
+        "    def __init__(self):\n"
+        "        self._seq = itertools.count(1)\n"
+        "        self.cache = {}\n"
+    )
+    assert codes(src, ["SIM004"]) == []
+
+
+# ------------------------------------------------------------- SIM005
+def test_sim005_flags_set_iteration():
+    src = (
+        "for name in {'b', 'a'}:\n"
+        "    print(name)\n"
+        "rows = [x for x in set(items)]\n"
+        "for i, x in enumerate(set(items)):\n"
+        "    print(i, x)\n"
+    )
+    assert codes(src, ["SIM005"]) == ["SIM005"] * 3
+
+
+def test_sim005_quiet_on_sorted_sets_and_dicts():
+    src = (
+        "for name in sorted({'b', 'a'}):\n"
+        "    print(name)\n"
+        "for k in {'a': 1}:\n"
+        "    print(k)\n"
+    )
+    assert codes(src, ["SIM005"]) == []
+
+
+# ------------------------------------------------------------- SIM006
+def test_sim006_flags_bare_and_broad_pass():
+    src = (
+        "try:\n"
+        "    risky()\n"
+        "except:\n"
+        "    handle()\n"
+        "try:\n"
+        "    risky()\n"
+        "except Exception:\n"
+        "    pass\n"
+    )
+    assert codes(src, ["SIM006"]) == ["SIM006", "SIM006"]
+
+
+def test_sim006_flags_broad_tuple_pass():
+    src = (
+        "try:\n"
+        "    risky()\n"
+        "except (ValueError, BaseException):\n"
+        "    pass\n"
+    )
+    assert codes(src, ["SIM006"]) == ["SIM006"]
+
+
+def test_sim006_quiet_on_narrow_or_recording_handlers():
+    src = (
+        "try:\n"
+        "    risky()\n"
+        "except ValueError:\n"
+        "    pass\n"
+        "try:\n"
+        "    risky()\n"
+        "except Exception as exc:\n"
+        "    log(exc)\n"
+    )
+    assert codes(src, ["SIM006"]) == []
+
+
+# ------------------------------------------------------- suppressions
+def test_inline_suppression_silences_one_code():
+    src = "import time\nt0 = time.time()  # simlint: disable=SIM001\n"
+    assert codes(src) == []
+
+
+def test_inline_suppression_is_code_specific():
+    src = "import time\nt0 = time.time()  # simlint: disable=SIM002\n"
+    assert codes(src) == ["SIM001"]
+
+
+def test_bare_disable_silences_all_codes():
+    src = "part = hash(key)  # simlint: disable\n"
+    assert codes(src) == []
+
+
+def test_findings_are_sorted_and_located():
+    src = "import time\nx = hash(k)\nt = time.time()\n"
+    findings = lint_source(src, path="mod.py")
+    assert [(f.path, f.line, f.code) for f in findings] == [
+        ("mod.py", 2, "SIM003"), ("mod.py", 3, "SIM001")]
+
+
+def test_unknown_rule_selection_raises():
+    with pytest.raises(KeyError):
+        lint_source("x = 1\n", rules=["SIM999"])

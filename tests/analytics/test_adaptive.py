@@ -57,6 +57,6 @@ def test_adaptive_loop_improves_coverage(stack):
     history = holder["history"]
     assert len(history) == 3
     # coverage never decreases and the adaptive rounds add ground
-    assert all(b >= a for a, b in zip(history, history[1:]))
+    assert all(b >= a for a, b in zip(history, history[1:], strict=False))
     assert history[-1] > history[0]
     assert len(holder["samples"]) == 3 * 4 * 300

@@ -12,6 +12,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.analysis.sanitizer import SimSanitizer
 from repro.cluster.storage import (
     GB,
     MB,
@@ -160,18 +161,36 @@ def test_virtual_clock_matches_reference(schedule, per_stream, latency):
 
 @given(schedule=_SCHEDULES)
 @settings(max_examples=60, deadline=None)
-def test_debug_mode_shadow_ledger_agrees(schedule):
-    """debug=True keeps the old per-transfer ledger and asserts it
-    against the credit algebra at every settle; any divergence raises."""
-    debug = _completion_times(
-        lambda env: SharedBandwidthPipe(env, aggregate_bw=100.0,
-                                        latency=0.001, debug=True),
-        schedule)
+def test_sanitized_shadow_ledger_agrees(schedule):
+    """With the sanitizer installed the pipe keeps the old per-transfer
+    ledger and asserts it against the credit algebra at every settle;
+    any divergence raises — and results match the unchecked run."""
+    def make_sanitized(env):
+        SimSanitizer.install(env)
+        return SharedBandwidthPipe(env, aggregate_bw=100.0, latency=0.001)
+
+    checked = _completion_times(make_sanitized, schedule)
     plain = _completion_times(
         lambda env: SharedBandwidthPipe(env, aggregate_bw=100.0,
                                         latency=0.001),
         schedule)
-    assert debug == plain
+    assert checked == plain
+
+
+def test_pipe_debug_kwarg_is_deprecated_but_still_checks():
+    """``debug=True`` warns but the per-instance ledger checks run."""
+    env = Environment()
+    with pytest.warns(DeprecationWarning, match="debug=True"):
+        pipe = SharedBandwidthPipe(env, aggregate_bw=100.0, debug=True)
+
+    def worker():
+        yield pipe.transfer(1000.0)
+
+    env.run(env.process(worker()))
+    # When REPRO_SANITIZE already installed an env-level sanitizer it
+    # takes precedence over the per-instance alias checker.
+    checker = env.sanitizer or pipe._own_sanitizer
+    assert checker.checks_run.get("pipe", 0) > 0
 
 
 def test_transfer_many_equals_one_summed_transfer():

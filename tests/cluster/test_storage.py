@@ -25,7 +25,7 @@ def run_transfers(pipe, sizes, starts=None):
 
     starts = starts or [0.0] * len(sizes)
     procs = [env.process(xfer(i, s, st))
-             for i, (s, st) in enumerate(zip(sizes, starts))]
+             for i, (s, st) in enumerate(zip(sizes, starts, strict=True))]
     env.run(env.all_of(procs))
     return done
 

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.analysis.sanitizer import InvariantViolation, SimSanitizer
 from repro.cluster import Machine, stampede
 from repro.core.agent.scheduler import (
     ContinuousScheduler,
@@ -127,11 +128,12 @@ def test_total_cores_cached_at_construction():
 
 
 @pytest.mark.parametrize("policy", ["pack", "spread"])
-def test_debug_mode_checks_counter_consistency(policy):
-    """``debug=True`` cross-checks the incremental free-core counter
-    against a full per-node re-summation on every grant."""
+def test_sanitizer_checks_counter_consistency(policy):
+    """The installed sanitizer cross-checks the incremental free-core
+    counter against a full per-node re-summation on every grant."""
     env, node_list = nodes(2)
-    sched = ContinuousScheduler(env, node_list, policy=policy, debug=True)
+    sanitizer = SimSanitizer.install(env)
+    sched = ContinuousScheduler(env, node_list, policy=policy)
 
     def churn():
         held = []
@@ -145,17 +147,34 @@ def test_debug_mode_checks_counter_consistency(policy):
 
     env.run(env.process(churn()))
     assert sched.free_cores == sched.total_cores
+    assert sanitizer.checks_run["scheduler"] > 0
+    assert sanitizer.violations == 0
 
 
-def test_debug_mode_catches_corrupted_counter():
+def test_sanitizer_catches_corrupted_counter():
     env, node_list = nodes(1)
-    sched = ContinuousScheduler(env, node_list, debug=True)
+    SimSanitizer.install(env)
+    sched = ContinuousScheduler(env, node_list)
     sched._free_cores -= 1  # simulate drift
 
     def consume():
         yield sched.allocate(1)
 
-    with pytest.raises(AssertionError):
+    with pytest.raises(InvariantViolation):
+        env.run(env.process(consume()))
+
+
+def test_debug_kwarg_is_deprecated_but_still_checks():
+    """``debug=True`` warns but keeps the per-instance checks alive."""
+    env, node_list = nodes(1)
+    with pytest.warns(DeprecationWarning, match="debug=True"):
+        sched = ContinuousScheduler(env, node_list, debug=True)
+    sched._free_cores -= 1  # simulate drift
+
+    def consume():
+        yield sched.allocate(1)
+
+    with pytest.raises(InvariantViolation):
         env.run(env.process(consume()))
 
 

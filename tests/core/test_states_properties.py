@@ -35,7 +35,7 @@ def random_walk(table, start, draws):
 def test_pilot_walks_end_in_final_or_continue(draws):
     """Any legal walk never raises and only stops at final states."""
     path = random_walk(PILOT_TRANSITIONS, PilotState.NEW, draws)
-    for current, nxt in zip(path, path[1:]):
+    for current, nxt in zip(path, path[1:], strict=False):
         check_transition(PILOT_TRANSITIONS, current, nxt)  # must not raise
     if len(path) <= len(draws):  # walk stopped early -> dead end
         assert path[-1].is_final
@@ -46,7 +46,7 @@ def test_pilot_walks_end_in_final_or_continue(draws):
 @settings(max_examples=100)
 def test_unit_walks_end_in_final_or_continue(draws):
     path = random_walk(UNIT_TRANSITIONS, UnitState.NEW, draws)
-    for current, nxt in zip(path, path[1:]):
+    for current, nxt in zip(path, path[1:], strict=False):
         check_transition(UNIT_TRANSITIONS, current, nxt)
     if len(path) <= len(draws):
         assert path[-1].is_final

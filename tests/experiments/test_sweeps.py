@@ -70,7 +70,7 @@ def test_figure5_sweep_parallel_matches_sequential():
     parallel = run_sweep("figure5", root_seed=42, jobs=4)
     assert [r["key"] for r in parallel.results] == \
         [r["key"] for r in sequential.results]
-    for seq_row, par_row in zip(sequential.results, parallel.results):
+    for seq_row, par_row in zip(sequential.results, parallel.results, strict=True):
         assert par_row["rows"] == seq_row["rows"], seq_row["key"]
     assert parallel.aggregate_json() == sequential.aggregate_json()
     assert parallel.digest() == sequential.digest()

@@ -87,7 +87,7 @@ def test_regression_application_on_saga_hadoop(spark_on_hpc):
 
     def train():
         model = yield from LinearRegressionModel.train(
-            ctx.parallelize([(x, float(t)) for x, t in zip(X, y)], 4))
+            ctx.parallelize([(x, float(t)) for x, t in zip(X, y, strict=True)], 4))
         holder["w"] = model.weights
 
     env.run(env.process(train()))

@@ -127,7 +127,7 @@ def test_linear_regression_recovers_coefficients():
     X = rng.uniform(-1, 1, size=(200, 3))
     true_w = np.array([2.0, -1.0, 0.5])
     y = X @ true_w + 3.0 + rng.normal(0, 0.001, size=200)
-    rows = [(x, float(label)) for x, label in zip(X, y)]
+    rows = [(x, float(label)) for x, label in zip(X, y, strict=True)]
     model = run(env, LinearRegressionModel.train(
         ctx.parallelize(rows, 4)))
     assert np.allclose(model.weights[:3], true_w, atol=0.01)
@@ -140,7 +140,7 @@ def test_linear_regression_matches_numpy_lstsq():
     rng = np.random.default_rng(8)
     X = rng.uniform(size=(50, 2))
     y = rng.uniform(size=50)
-    rows = [(x, float(label)) for x, label in zip(X, y)]
+    rows = [(x, float(label)) for x, label in zip(X, y, strict=True)]
     model = run(env, LinearRegressionModel.train(
         ctx.parallelize(rows, 3)))
     Xb = np.hstack([X, np.ones((50, 1))])
