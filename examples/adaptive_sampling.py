@@ -13,7 +13,7 @@ Run:  python examples/adaptive_sampling.py
 """
 
 from repro.analytics import coverage, run_adaptive_sampling
-from repro.core import ComputePilotDescription, PilotState
+from repro.api import ComputePilotDescription, PilotState
 from repro.experiments.calibration import agent_config
 from repro.experiments.harness import Testbed
 

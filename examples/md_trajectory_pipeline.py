@@ -22,7 +22,7 @@ from repro.analytics import (
     run_trajectory_analysis,
     synthesize_trajectory,
 )
-from repro.core import ComputeUnitDescription
+from repro.api import ComputeUnitDescription
 from repro.experiments.calibration import agent_config
 from repro.experiments.harness import Testbed
 

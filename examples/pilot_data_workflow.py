@@ -16,7 +16,7 @@ Run:  python examples/pilot_data_workflow.py
 """
 
 from repro.cluster import stampede, wrangler
-from repro.core import (
+from repro.api import (
     ComputeDataService,
     ComputePilotDescription,
     ComputeUnitDescription,

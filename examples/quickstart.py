@@ -10,7 +10,7 @@ Run:  python examples/quickstart.py
 """
 
 from repro.cluster import stampede
-from repro.core import (
+from repro.api import (
     AgentConfig,
     ComputePilotDescription,
     ComputeUnitDescription,

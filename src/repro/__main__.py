@@ -164,14 +164,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run an experiment grid over a process pool")
     sweep.add_argument("grid",
                        choices=["figure5", "figure6", "ablations",
-                                "sensitivity"])
+                                "sensitivity", "chaos"])
     sweep.add_argument("--jobs", type=int, default=None, metavar="N",
                        help="worker processes (default: all cores; "
                             "1 = sequential reference path)")
     sweep.add_argument("--seed", type=int, default=42,
                        help="root seed; per-cell seeds derive from it")
     sweep.add_argument("--quick", action="store_true",
-                       help="figure6: run the reduced 16-cell grid")
+                       help="figure6/chaos: run a reduced grid")
     sweep.add_argument("--out", default=None, metavar="FILE",
                        help="write the structured JSON result here")
 

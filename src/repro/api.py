@@ -1,0 +1,90 @@
+"""repro.api: the single public entry point.
+
+Everything a simulation script needs lives here — the session facade,
+managers, description objects, fault injection and the simulation
+environment::
+
+    from repro.api import (AgentConfig, ComputePilotDescription,
+                           ComputeUnitDescription, Environment,
+                           RestartPolicy, Session)
+
+    env = Environment()
+    session = Session(env)
+    pmgr = session.pilot_manager()
+    umgr = session.unit_manager(restart_policy=RestartPolicy())
+    session.faults.node_crash(at=120.0, node="c251-101")
+
+The old per-subsystem import paths (``from repro.core import ...``)
+keep working behind :class:`DeprecationWarning` aliases; see the
+migration table in README.md.
+"""
+
+from repro.core.data import (
+    ComputeDataService,
+    DataUnit,
+    DataUnitDescription,
+    PilotData,
+    PilotDataDescription,
+)
+from repro.core.db import Database
+from repro.core.description import (
+    AgentConfig,
+    ComputePilotDescription,
+    ComputeUnitDescription,
+    Description,
+    DescriptionError,
+)
+from repro.core.pilot import ComputePilot
+from repro.core.pilot_manager import PilotManager
+from repro.core.session import Session
+from repro.core.states import PilotState, UnitState
+from repro.core.unit import ComputeUnit
+from repro.core.unit_manager import (
+    BackfillScheduler,
+    PredictiveScheduler,
+    RoundRobinScheduler,
+    UnitManager,
+)
+from repro.faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    RestartPolicy,
+)
+from repro.saga.registry import Registry, Site, default_registry
+from repro.sim.engine import Environment, SimulationError
+
+__all__ = [
+    "AgentConfig",
+    "BackfillScheduler",
+    "ComputeDataService",
+    "ComputePilot",
+    "ComputePilotDescription",
+    "ComputeUnit",
+    "ComputeUnitDescription",
+    "Database",
+    "DataUnit",
+    "DataUnitDescription",
+    "Description",
+    "DescriptionError",
+    "Environment",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "PilotData",
+    "PilotDataDescription",
+    "PilotManager",
+    "PilotState",
+    "PredictiveScheduler",
+    "Registry",
+    "RestartPolicy",
+    "RoundRobinScheduler",
+    "Session",
+    "SimulationError",
+    "Site",
+    "UnitManager",
+    "UnitState",
+    "default_registry",
+]

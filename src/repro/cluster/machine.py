@@ -66,6 +66,9 @@ class Machine:
         self.network = Interconnect(
             env, backbone_bw=spec.backbone_bw, link_bw=spec.link_bw,
             latency=spec.net_latency)
+        faults = env.faults
+        if faults is not None:
+            faults.register_machine(self)
 
     @property
     def name(self) -> str:

@@ -5,11 +5,21 @@ plus a shared backbone pipe.  Intra-node transfers are free except for
 a small memcpy cost.  This is sufficient for the paper's workloads —
 the shuffle traffic of K-Means and the WAN hop of the rejected
 Pilot-Manager-level YARN integration (ablation A1).
+
+Fault injection (:mod:`repro.faults`) drives two degradations:
+
+* :meth:`Interconnect.degrade` scales the backbone's aggregate and
+  per-link bandwidth by a factor in (0, 1] — in-flight transfers slow
+  down exactly as the processor-sharing model dictates;
+* :meth:`Interconnect.partition` splits the node set into two halves:
+  transfers crossing the cut are *held* (not dropped) until
+  :meth:`heal` releases them, modelling a switch outage whose TCP
+  flows stall and then resume.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, List, Optional, Tuple
 
 from repro.cluster.storage import SharedBandwidthPipe
 from repro.sim.engine import Environment, Event
@@ -30,7 +40,57 @@ class Interconnect:
         self.backbone = SharedBandwidthPipe(
             env, aggregate_bw=backbone_bw, per_stream_bw=link_bw,
             latency=latency, name="interconnect")
+        self._base_backbone_bw = float(backbone_bw)
+        self._base_link_bw = float(link_bw)
+        self.degrade_factor = 1.0
+        #: One side of the active partition cut (node names), or None.
+        self._partition: Optional[frozenset] = None
+        #: Transfers held back by the partition: (nbytes, done event),
+        #: in arrival order — healed in the same order, so partitions
+        #: are deterministic.
+        self._partition_waiters: List[Tuple[float, Event]] = []
 
+    # -- fault hooks --------------------------------------------------------
+    def degrade(self, factor: float) -> None:
+        """Scale backbone and link bandwidth to ``factor`` of baseline."""
+        if not 0 < factor <= 1:
+            raise ValueError(
+                f"degrade factor must be in (0, 1], got {factor}")
+        self.degrade_factor = float(factor)
+        self.backbone.set_bandwidth(self._base_backbone_bw * factor,
+                                    self._base_link_bw * factor)
+
+    def restore(self) -> None:
+        """End a degradation episode: back to baseline bandwidth."""
+        self.degrade_factor = 1.0
+        self.backbone.set_bandwidth(self._base_backbone_bw,
+                                    self._base_link_bw)
+
+    def partition(self, group: Iterable[str]) -> None:
+        """Partition the fabric: ``group`` on one side, the rest on the
+        other.  Crossing transfers stall until :meth:`heal`."""
+        self._partition = frozenset(group)
+
+    def heal(self) -> None:
+        """Heal the partition; stalled transfers enter the fabric now."""
+        self._partition = None
+        waiters, self._partition_waiters = self._partition_waiters, []
+        for nbytes, done in waiters:
+            transfer = self.backbone.transfer(nbytes)
+            transfer.callbacks.append(
+                lambda _event, _done=done: _done.succeed())
+
+    def is_partitioned(self, src: str, dst: str) -> bool:
+        """Whether ``src`` -> ``dst`` currently crosses a partition cut."""
+        cut = self._partition
+        return cut is not None and ((src in cut) != (dst in cut))
+
+    def _held_transfer(self, nbytes: float) -> Event:
+        done = Event(self.env)
+        self._partition_waiters.append((nbytes, done))
+        return done
+
+    # -- transfers ----------------------------------------------------------
     def send(self, src: str, dst: str, nbytes: float) -> Event:
         """Transfer ``nbytes`` from node ``src`` to node ``dst``."""
         if src == dst:
@@ -42,6 +102,8 @@ class Interconnect:
                 done.succeed()
             self.env.timeout(delay).callbacks.append(_fire)
             return done
+        if self.is_partitioned(src, dst):
+            return self._held_transfer(nbytes)
         return self.backbone.transfer(nbytes)
 
     def send_many(self, src: str, dst: str,
@@ -64,6 +126,8 @@ class Interconnect:
                 done.succeed()
             self.env.timeout(delay).callbacks.append(_fire)
             return done
+        if self.is_partitioned(src, dst):
+            return self._held_transfer(total)
         return self.backbone.transfer(total)
 
     def wan_roundtrip(self) -> Event:

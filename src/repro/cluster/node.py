@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.cluster.storage import StorageSpec, StorageVolume
-from repro.sim.engine import Environment, SimulationError
+from repro.sim.engine import Environment, Event, SimulationError
 from repro.sim.resources import Level, Resource
 
 
@@ -45,6 +45,10 @@ class Node:
             latency=1e-5,
             capacity=memory_bytes * 0.25))
         self.alive = True
+        #: Failure timestamp of the most recent :meth:`fail` (MTTR base).
+        self.failed_at: Optional[float] = None
+        self._base_cpu_speed = self.cpu_speed
+        self._failure: Optional[Event] = None
 
     @property
     def cores_in_use(self) -> int:
@@ -69,11 +73,49 @@ class Node:
         return abstract_work / self.cpu_speed
 
     def fail(self) -> None:
-        """Mark the node dead (failure-injection hooks)."""
+        """Mark the node dead (failure-injection hooks).
+
+        Fires :meth:`failure_event` so executing tasks racing the
+        compute timeout against node death observe the crash at the
+        exact injection instant.
+        """
         self.alive = False
+        self.failed_at = self.env.now
+        if self._failure is not None and not self._failure.triggered:
+            self._failure.succeed(self)
 
     def recover(self) -> None:
         self.alive = True
+        self._failure = None
+
+    def failure_event(self) -> Event:
+        """An event that fires when this node dies.
+
+        Already-dead nodes return a freshly-triggered event, so waiters
+        resume immediately.  After :meth:`recover` a new pending event
+        is handed out for the next failure.
+        """
+        if not self.alive:
+            return Event(self.env).succeed(self)
+        if self._failure is None or self._failure.triggered:
+            self._failure = Event(self.env)
+        return self._failure
+
+    def slow_down(self, factor: float) -> None:
+        """Straggler injection: run ``factor``x slower than baseline.
+
+        Only affects compute phases *starting* after the call — in-flight
+        phases were priced at entry, matching a CPU that degrades between
+        tasks (thermal throttling, noisy neighbour).
+        """
+        if factor < 1:
+            raise SimulationError(
+                f"straggler factor must be >= 1, got {factor}")
+        self.cpu_speed = self._base_cpu_speed / factor
+
+    def restore_speed(self) -> None:
+        """End a straggler episode: back to the baseline speed."""
+        self.cpu_speed = self._base_cpu_speed
 
     def __repr__(self) -> str:  # pragma: no cover
         return (f"<Node {self.name}: {self.cores_free}/{self.num_cores} cores "

@@ -176,6 +176,26 @@ class SharedBandwidthPipe:
             total += size
         return self.transfer(total)
 
+    def set_bandwidth(self, aggregate_bw: float,
+                      per_stream_bw: Optional[float] = None) -> None:
+        """Change the pipe's rates mid-flight (network fault injection).
+
+        In-flight transfers keep their remaining bytes and proceed at
+        the new fair-share rate.  Because finish credits are
+        rate-independent byte counts, settling ``V`` at the old rate,
+        swapping the rates and rescheduling the next wake reproduces
+        the full-scan model exactly — the shadow-ledger sanitizer
+        checks keep passing across the change.
+        """
+        if aggregate_bw <= 0:
+            raise SimulationError("aggregate bandwidth must be positive")
+        if per_stream_bw is not None and per_stream_bw <= 0:
+            raise SimulationError("per-stream bandwidth must be positive")
+        self._settle()
+        self.aggregate_bw = float(aggregate_bw)
+        self.per_stream_bw = float(per_stream_bw) if per_stream_bw else None
+        self._reschedule()
+
     def estimate_duration(self, nbytes: float, streams: int = 1) -> float:
         """Closed-form duration estimate at a fixed concurrency level.
 

@@ -15,55 +15,56 @@ This is the paper's primary contribution, reproduced in full:
   Application Master (one YARN app per Compute-Unit, optional AM
   re-use).
 
-Usage mirrors RADICAL-Pilot::
+.. deprecated::
+    Importing the public classes from ``repro.core`` is deprecated;
+    use :mod:`repro.api`, the unified facade::
 
-    session = Session(env, registry)
-    pmgr = PilotManager(session)
-    pilot = pmgr.submit_pilot(ComputePilotDescription(
-        resource="slurm://stampede", nodes=2, runtime=30,
-        agent_config=AgentConfig(lrm="yarn")))     # Mode I
-    umgr = UnitManager(session)
-    umgr.add_pilots(pilot)
-    units = umgr.submit_units([ComputeUnitDescription(
-        executable="kmeans_map.py", cores=1, cpu_seconds=30.0)])
-    yield umgr.wait_units(units)
+        from repro.api import Session, ComputeUnitDescription
+
+    The package-level names below stay importable behind
+    :class:`DeprecationWarning` aliases (submodule paths such as
+    ``repro.core.session`` are unaffected).
 """
 
-from repro.core.data import (
-    ComputeDataService,
-    DataUnit,
-    DataUnitDescription,
-    PilotData,
-    PilotDataDescription,
-)
-from repro.core.db import Database
-from repro.core.description import (
-    AgentConfig,
-    ComputePilotDescription,
-    ComputeUnitDescription,
-)
-from repro.core.pilot import ComputePilot
-from repro.core.pilot_manager import PilotManager
-from repro.core.session import Session
-from repro.core.states import PilotState, UnitState
-from repro.core.unit import ComputeUnit
-from repro.core.unit_manager import UnitManager
+from __future__ import annotations
 
-__all__ = [
-    "AgentConfig",
-    "ComputeDataService",
-    "ComputePilot",
-    "ComputePilotDescription",
-    "ComputeUnit",
-    "ComputeUnitDescription",
-    "Database",
-    "DataUnit",
-    "DataUnitDescription",
-    "PilotData",
-    "PilotDataDescription",
-    "PilotManager",
-    "PilotState",
-    "Session",
-    "UnitManager",
-    "UnitState",
-]
+import importlib
+import warnings
+
+#: name -> home module, for the deprecated package-level aliases.
+_ALIASES = {
+    "AgentConfig": "repro.core.description",
+    "ComputeDataService": "repro.core.data",
+    "ComputePilot": "repro.core.pilot",
+    "ComputePilotDescription": "repro.core.description",
+    "ComputeUnit": "repro.core.unit",
+    "ComputeUnitDescription": "repro.core.description",
+    "Database": "repro.core.db",
+    "DataUnit": "repro.core.data",
+    "DataUnitDescription": "repro.core.data",
+    "PilotData": "repro.core.data",
+    "PilotDataDescription": "repro.core.data",
+    "PilotManager": "repro.core.pilot_manager",
+    "PilotState": "repro.core.states",
+    "Session": "repro.core.session",
+    "UnitManager": "repro.core.unit_manager",
+    "UnitState": "repro.core.states",
+}
+
+__all__ = sorted(_ALIASES)
+
+
+def __getattr__(name: str):
+    home = _ALIASES.get(name)
+    if home is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}")
+    warnings.warn(
+        f"importing {name} from repro.core is deprecated; "
+        f"use 'from repro.api import {name}'",
+        DeprecationWarning, stacklevel=2)
+    return getattr(importlib.import_module(home), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_ALIASES))

@@ -133,6 +133,11 @@ class Agent:
                 if self._cancel_requested():
                     final_state = PilotState.CANCELED
                     break
+                for name in self.backend.reap_dead_nodes():
+                    if tel is not None:
+                        tel.emit("agent", "node_lost",
+                                 pilot=self.pilot_uid, node=name)
+                        tel.counter("agent.nodes_lost").inc()
                 self._claim_new_units()
                 self._pilots().update_one({"_id": self.pilot_uid},
                                           {"heartbeat": self.env.now})
@@ -197,9 +202,26 @@ class Agent:
                 uid, cat="unit", parent=self._pilot_span, track=uid,
                 pilot=self.pilot_uid, cores=desc.cores)
 
+        started = [False]
+
         def _on_start() -> None:
-            self._advance_unit(uid, UnitState.EXECUTING)
-            _phase("execute")
+            # Idempotent: a YARN container re-attempt fires this again;
+            # the state machine forbids EXECUTING -> EXECUTING, so only
+            # the first start advances.  Armed transient faults are
+            # consumed once per attempt, so ``times=2`` poisons two
+            # consecutive container attempts.
+            if not started[0]:
+                started[0] = True
+                self._advance_unit(uid, UnitState.EXECUTING)
+                _phase("execute")
+            elif tel is not None:
+                tel.emit("unit", "reattempt", uid=uid,
+                         pilot=self.pilot_uid)
+            faults = self.env.faults
+            if faults is not None:
+                err = faults.take_unit_error(uid)
+                if err is not None:
+                    raise ExecutionError(err)
 
         try:
             # stage-in

@@ -37,17 +37,43 @@ def run_unit_as_yarn_app(env: Environment, yarn: YarnCluster,
     """One-shot path: one YARN application per Compute-Unit.  Generator.
 
     Returns a :class:`UnitOutcome`.
+
+    When the cluster's :class:`~repro.yarn.config.YarnConfig` sets
+    ``am_max_attempts`` > 1 the AM retries a failed/killed task
+    container with capped exponential backoff (YARN's re-attempt
+    semantics), requesting a fresh container each time — the recovery
+    path that absorbs container kills and node loss without failing
+    the Compute-Unit.  The default of 1 keeps the seed's
+    fail-immediately behaviour.
     """
+    config = yarn.config
+    max_attempts = max(1, config.am_max_attempts)
 
     def rp_app_master(ctx):
-        ctx.request_containers(1, YarnResource(memory_mb, cores))
-        containers = yield from ctx.wait_for_containers(1)
-        done = ctx.start_container(containers[0], container_payload)
-        container = yield done
-        if container.state.value == "completed":
-            ctx.finish("SUCCEEDED")
-        else:
-            ctx.finish("FAILED", diagnostics=container.diagnostics)
+        attempt = 0
+        container = None
+        while attempt < max_attempts:
+            attempt += 1
+            if attempt > 1:
+                delay = min(
+                    config.am_retry_backoff
+                    * config.am_retry_backoff_factor ** (attempt - 2),
+                    config.am_retry_backoff_cap)
+                tel = env.telemetry
+                if tel is not None:
+                    tel.emit("yarn", "container_reattempt", unit=unit_uid,
+                             attempt=attempt, delay=delay,
+                             diagnostics=container.diagnostics)
+                    tel.counter("yarn.am.reattempts").inc()
+                yield env.timeout(delay)
+            ctx.request_containers(1, YarnResource(memory_mb, cores))
+            containers = yield from ctx.wait_for_containers(1)
+            done = ctx.start_container(containers[0], container_payload)
+            container = yield done
+            if container.state.value == "completed":
+                ctx.finish("SUCCEEDED")
+                return
+        ctx.finish("FAILED", diagnostics=container.diagnostics)
 
     client = yarn.client()
     app = yield from client.submit(AppSpec(

@@ -49,6 +49,21 @@ def _run_payload(unit_desc: ComputeUnitDescription):
     return unit_desc.function(*unit_desc.args, **unit_desc.kwargs)
 
 
+def _compute_or_die(env: Environment, node, seconds: float):
+    """Race the compute phase against the node's failure event.
+
+    Generator: completes normally when the timeout wins, raises
+    :class:`ExecutionError` if the node dies first (fault injection
+    kills in-flight work, not just future placements).
+    """
+    if not node.alive:
+        raise ExecutionError(f"node {node.name} is down")
+    compute = env.timeout(seconds)
+    yield env.any_of([compute, node.failure_event()])
+    if not node.alive:
+        raise ExecutionError(f"node {node.name} died during execution")
+
+
 class ForkBackend:
     """Plain HPC execution: cores from the continuous scheduler, bulk
     I/O against the machine's **shared parallel filesystem** (Lustre).
@@ -114,6 +129,8 @@ class ForkBackend:
                 on_start()
 
             node = allocation.primary_node
+            if not node.alive:
+                raise ExecutionError(f"node {node.name} is down")
             memory = (unit_desc.memory_mb
                       or self.config.default_unit_memory_mb) * MB
             memory = min(memory, node.memory_bytes)
@@ -126,8 +143,9 @@ class ForkBackend:
                         yield self.shared_fs.read(unit_desc.input_bytes)
                 if unit_desc.cpu_seconds > 0:
                     speedup = allocation.total_cores
-                    yield self.env.timeout(node.compute_seconds(
-                        unit_desc.cpu_seconds / speedup))
+                    yield from _compute_or_die(
+                        self.env, node, node.compute_seconds(
+                            unit_desc.cpu_seconds / speedup))
                 result = _run_payload(unit_desc)
                 if unit_desc.output_bytes > 0:
                     yield self.shared_fs.write(unit_desc.output_bytes)
@@ -138,6 +156,13 @@ class ForkBackend:
             if tel is not None:
                 tel.tracer.end(task_span)
         return result
+
+    def reap_dead_nodes(self):
+        """Retire dead nodes from the core ledger; returns their names."""
+        dead = [n for n in self.scheduler.nodes if not n.alive]
+        for node in dead:
+            self.scheduler.deactivate_node(node)
+        return [n.name for n in dead]
 
     def teardown(self):
         if False:  # pragma: no cover
@@ -237,6 +262,10 @@ class YarnBackend:
                 f"YARN execution failed: {outcome.diagnostics}")
         return box.get("result")
 
+    def reap_dead_nodes(self):
+        """YARN owns its own liveness: the RM expires lost NMs."""
+        return []
+
     def teardown(self):
         if self._pool is not None:
             yield from self._pool.shutdown()
@@ -277,6 +306,8 @@ class SparkBackend:
             yield self.env.timeout(LAUNCH_OVERHEAD["spark-submit"]
                                    + self.config.spawn_overhead_seconds)
             node = allocation.primary_node
+            if not node.alive:
+                raise ExecutionError(f"node {node.name} is down")
             if self.config.task_environment_bytes > 0:
                 yield node.local_disk.read(
                     self.config.task_environment_bytes)
@@ -287,8 +318,9 @@ class SparkBackend:
                         else node.local_disk)
                 yield tier.read(unit_desc.input_bytes)
             if unit_desc.cpu_seconds > 0:
-                yield self.env.timeout(node.compute_seconds(
-                    unit_desc.cpu_seconds / allocation.total_cores))
+                yield from _compute_or_die(
+                    self.env, node, node.compute_seconds(
+                        unit_desc.cpu_seconds / allocation.total_cores))
             result = _run_payload(unit_desc)
             if unit_desc.output_bytes > 0:
                 yield node.local_disk.write(unit_desc.output_bytes)
@@ -297,6 +329,13 @@ class SparkBackend:
             if tel is not None:
                 tel.tracer.end(task_span)
         return result
+
+    def reap_dead_nodes(self):
+        """Retire dead nodes from the core ledger; returns their names."""
+        dead = [n for n in self.scheduler.nodes if not n.alive]
+        for node in dead:
+            self.scheduler.deactivate_node(node)
+        return [n.name for n in dead]
 
     def teardown(self):
         if False:  # pragma: no cover

@@ -119,11 +119,14 @@ class YarnLrm(LocalResourceManager):
         self.rendered_configs = render_hadoop_configs(
             [n.name for n in self.nodes], self.yarn_config)
         yield self.env.timeout(self.config.configure_seconds)
-        # 3. start HDFS (NameNode on the agent node, DataNodes everywhere)
+        # 3. start HDFS (NameNode on the agent node, DataNodes everywhere).
+        # The replication monitor only runs when fault injection is armed
+        # on this environment: fault-free bootstraps keep the seed's
+        # event stream (the monitor is silent but its wakeups are not).
         self.hdfs = HdfsCluster(
             self.env, machine, self.nodes,
             replication=self.config.hdfs_replication,
-            rng=None)
+            rng=None, auto_heal=self.env.faults is not None)
         yield self.env.process(self.hdfs.start())
         # 4. start YARN (RM on the agent node, NMs everywhere)
         self.yarn = YarnCluster(self.env, machine, self.nodes,

@@ -96,6 +96,9 @@ class ContinuousScheduler:
         self._total_cores = sum(n.num_cores for n in nodes)
         self._free_cores = self._total_cores
         self._waiting = 0
+        #: Names of nodes removed by :meth:`deactivate_node`; releases
+        #: of cores carved from them are dropped, not re-added.
+        self._retired: set = set()
         # Spread-policy order cache: valid while no free count changed.
         self._free_version = 0
         self._order_version = -1
@@ -125,12 +128,54 @@ class ContinuousScheduler:
 
     def release(self, allocation: SlotAllocation) -> None:
         free = self._free
+        retired = self._retired
         returned = 0
         for node, cores in allocation.assignments:
+            if retired and node.name in retired:
+                # The node died while this unit held it; its cores left
+                # the capacity pool with it.
+                continue
             free[node.name] += cores
             returned += cores
         self._free_cores += returned
         self._free_version += 1
+        self._drain()
+
+    def deactivate_node(self, node: Node) -> None:
+        """Remove a dead node from the capacity pool.
+
+        Free cores on the node vanish from the ledger immediately;
+        cores still held by executing units are forgotten when their
+        allocations release (see :meth:`release`), so the sanitizer's
+        conservation checks hold at every step.  Queued requests that
+        no longer fit the shrunk allocation are failed rather than left
+        to deadlock the FIFO queue.
+        """
+        name = node.name
+        if name in self._retired:
+            return
+        self._retired.add(name)
+        self.nodes = [n for n in self.nodes if n.name != name]
+        if not self.nodes:
+            # Whole allocation gone: fail everything still queued.
+            self._total_cores = 0
+            self._free_cores = 0
+            self._free.clear()
+        else:
+            freed = self._free.pop(name, 0)
+            self._free_cores -= freed
+            self._total_cores -= node.num_cores
+        self._free_version += 1
+        survivors: Deque[Tuple[int, Event]] = deque()
+        for cores, event in self._queue:
+            if not event._triggered and cores > self._total_cores:
+                self._waiting -= 1
+                event.fail(SimulationError(
+                    f"allocation lost node {name}: {cores}-core request "
+                    f"exceeds the remaining {self._total_cores} cores"))
+            else:
+                survivors.append((cores, event))
+        self._queue = survivors
         self._drain()
 
     def _report(self) -> None:

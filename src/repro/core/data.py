@@ -20,10 +20,10 @@ This module implements that trio against the simulated testbed:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.description import ComputeUnitDescription
+from repro.core.description import ComputeUnitDescription, Description
 from repro.core.pilot import ComputePilot
 from repro.core.session import Session
 from repro.core.unit import ComputeUnit
@@ -35,19 +35,19 @@ from repro.sim.engine import Event, SimulationError
 
 # ------------------------------------------------------------- descriptions
 @dataclass
-class PilotDataDescription:
+class PilotDataDescription(Description):
     """A storage reservation request (mirrors BigJob's pilot data API)."""
 
     resource: str                 # SAGA URL of the site, e.g. "slurm://stampede"
     size_bytes: float = 100 * 1024 ** 3
 
-    def validate(self) -> None:
-        if self.size_bytes <= 0:
-            raise ValueError("pilot-data size must be positive")
+    def _check(self) -> None:
+        self._require(self.size_bytes > 0,
+                      "pilot-data size must be positive")
 
 
 @dataclass
-class DataUnitDescription:
+class DataUnitDescription(Description):
     """A dataset: named files with sizes (no real payloads needed)."""
 
     name: str
@@ -57,11 +57,10 @@ class DataUnitDescription:
     def nbytes(self) -> float:
         return sum(size for _, size in self.files)
 
-    def validate(self) -> None:
-        if not self.name:
-            raise ValueError("data unit needs a name")
-        if any(size < 0 for _, size in self.files):
-            raise ValueError("file sizes must be non-negative")
+    def _check(self) -> None:
+        self._require(bool(self.name), "data unit needs a name")
+        self._require(all(size >= 0 for _, size in self.files),
+                      "file sizes must be non-negative")
 
 
 # ------------------------------------------------------------------ handles

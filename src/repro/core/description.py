@@ -1,13 +1,76 @@
-"""Descriptions: what users ask for (pilots, units, agent behaviour)."""
+"""Descriptions: what users ask for (pilots, units, agent behaviour).
+
+Every describe-object in the repo — pilot and unit descriptions here,
+the data descriptions in :mod:`repro.core.data`, the fault specs in
+:mod:`repro.faults` — follows one keyword-validated dataclass
+convention: a plain ``@dataclass`` whose fields are the public surface,
+with a shared ``validate()`` entry point that raises
+:class:`DescriptionError` on bad values and returns ``self`` so calls
+chain.  ``from_dict`` builds a description from keyword mappings and
+rejects unknown keys, and ``replace`` clones with changes; both
+validate the result.
+"""
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Tuple
 
 
+class DescriptionError(ValueError):
+    """A describe-object failed validation.
+
+    Subclasses :class:`ValueError` so call sites that predate the
+    unified convention keep working.
+    """
+
+
 @dataclass
-class AgentConfig:
+class Description:
+    """Base for all describe-objects: the shared validation convention.
+
+    Subclasses implement ``_check()`` using :meth:`_require`; user code
+    calls :meth:`validate` (or gets it called for them on submission).
+    """
+
+    def validate(self) -> "Description":
+        """Check all fields; raise :class:`DescriptionError` if invalid."""
+        self._check()
+        return self
+
+    def _check(self) -> None:  # pragma: no cover - overridden
+        """Field checks; override in subclasses."""
+
+    @staticmethod
+    def _require(condition: bool, message: str) -> None:
+        if not condition:
+            raise DescriptionError(message)
+
+    @classmethod
+    def from_dict(cls, mapping: Dict[str, Any]) -> "Description":
+        """Build and validate a description from a keyword mapping."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(mapping) - known)
+        if unknown:
+            raise DescriptionError(
+                f"unknown {cls.__name__} fields: {', '.join(unknown)}")
+        instance = cls(**mapping)
+        instance.validate()
+        return instance
+
+    def replace(self, **changes: Any) -> "Description":
+        """Clone with ``changes`` applied; the clone is validated."""
+        try:
+            clone = dataclasses.replace(self, **changes)
+        except TypeError as exc:
+            raise DescriptionError(str(exc)) from None
+        clone.validate()
+        return clone
+
+
+@dataclass
+class AgentConfig(Description):
     """How the RADICAL-Pilot-Agent behaves on the allocation.
 
     ``lrm`` picks the Local Resource Manager:
@@ -58,9 +121,19 @@ class AgentConfig:
     #: :class:`repro.yarn.config.YarnConfig` when set.
     yarn_config: Optional[Any] = None
 
+    def _check(self) -> None:
+        if self.lrm not in ("fork", "yarn", "yarn-connect", "spark"):
+            raise DescriptionError(f"unknown LRM {self.lrm!r}")
+        self._require(self.scheduler_policy in ("pack", "spread"),
+                      f"unknown scheduler policy {self.scheduler_policy!r}")
+        self._require(self.db_poll_interval > 0,
+                      "db_poll_interval must be positive")
+        self._require(self.hdfs_replication >= 1,
+                      "hdfs_replication must be >= 1")
+
 
 @dataclass
-class ComputePilotDescription:
+class ComputePilotDescription(Description):
     """Resource request for one pilot (mirrors RP's attributes)."""
 
     resource: str                 # SAGA URL, e.g. "slurm://stampede"
@@ -70,19 +143,18 @@ class ComputePilotDescription:
     project: Optional[str] = None
     agent_config: AgentConfig = field(default_factory=AgentConfig)
 
-    def validate(self) -> None:
-        if self.nodes < 1:
-            raise ValueError("pilot needs >= 1 node")
-        if self.runtime <= 0:
-            raise ValueError("runtime must be positive")
+    def _check(self) -> None:
+        self._require(self.nodes >= 1, "pilot needs >= 1 node")
+        self._require(self.runtime > 0, "runtime must be positive")
         if self.agent_config.lrm not in (
                 "fork", "yarn", "yarn-connect", "spark"):
-            raise ValueError(
+            raise DescriptionError(
                 f"unknown LRM {self.agent_config.lrm!r}")
+        self.agent_config.validate()
 
 
 @dataclass
-class ComputeUnitDescription:
+class ComputeUnitDescription(Description):
     """One self-contained piece of work (mirrors RP's CU description).
 
     The simulation extensions:
@@ -120,11 +192,11 @@ class ComputeUnitDescription:
     input_tier: str = "default"
     name: str = ""
 
-    def validate(self) -> None:
-        if self.cores < 1:
-            raise ValueError("unit needs >= 1 core")
-        if self.cpu_seconds < 0 or self.input_bytes < 0 \
-                or self.output_bytes < 0:
-            raise ValueError("unit costs must be non-negative")
-        if self.input_tier not in ("default", "memory"):
-            raise ValueError(f"unknown input tier {self.input_tier!r}")
+    def _check(self) -> None:
+        self._require(self.cores >= 1, "unit needs >= 1 core")
+        self._require(
+            self.cpu_seconds >= 0 and self.input_bytes >= 0
+            and self.output_bytes >= 0,
+            "unit costs must be non-negative")
+        self._require(self.input_tier in ("default", "memory"),
+                      f"unknown input tier {self.input_tier!r}")

@@ -137,6 +137,12 @@ class PilotManager:
                 if last is None:
                     continue
                 if self.env.now - last > self.heartbeat_timeout:
+                    tel = self.env.telemetry
+                    if tel is not None:
+                        tel.emit("pilot", "heartbeat_timeout", uid=uid,
+                                 last_heartbeat=last,
+                                 silent_for=self.env.now - last)
+                        tel.counter("pmgr.heartbeat_timeouts").inc()
                     advance_doc(col, uid, PilotState.FAILED, self.env.now,
                                 fail_reason="agent heartbeat timeout")
 

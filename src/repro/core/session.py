@@ -49,6 +49,55 @@ class Session:
             # ``sanitize`` is None.
             SimSanitizer.uninstall(env)
         self.sanitizer = env.sanitizer
+        self._pilot_manager = None
+        self._unit_manager = None
+        self._faults = None
+
+    # ----------------------------------------------------------- the facade
+    def pilot_manager(self, **kwargs):
+        """The session's PilotManager (created on first use).
+
+        With keyword arguments a *fresh* manager is returned; the no-arg
+        call returns the session-scoped singleton.
+        """
+        from repro.core.pilot_manager import PilotManager
+        if kwargs:
+            return PilotManager(self, **kwargs)
+        if self._pilot_manager is None:
+            self._pilot_manager = PilotManager(self)
+        return self._pilot_manager
+
+    def unit_manager(self, scheduler=None, restart_policy=None):
+        """The session's UnitManager (created on first use).
+
+        With arguments a *fresh* manager is returned; the no-arg call
+        returns the session-scoped singleton.
+        """
+        from repro.core.unit_manager import UnitManager
+        if scheduler is not None or restart_policy is not None:
+            return UnitManager(self, scheduler=scheduler,
+                               restart_policy=restart_policy)
+        if self._unit_manager is None:
+            self._unit_manager = UnitManager(self)
+        return self._unit_manager
+
+    @property
+    def faults(self):
+        """The session's :class:`~repro.faults.plan.FaultPlan`.
+
+        First access installs the fault injector on the environment and
+        binds it to the session's site registry.
+        """
+        if self._faults is None:
+            from repro.faults.plan import FaultPlan
+            self._faults = FaultPlan(session=self)
+        return self._faults
+
+    @property
+    def telemetry(self):
+        """The environment's telemetry hub (installed on first access)."""
+        import repro.telemetry
+        return repro.telemetry.install(self.env)
 
     def next_uid(self, prefix: str, width: int = 4) -> str:
         """Session-scoped entity uids (``pilot.0001``, ``unit.000001``...).

@@ -110,16 +110,35 @@ class UnitManager:
     Units are written to the shared DB assigned to a pilot; the agent
     picks them up at its next poll.  A watcher replays agent-side state
     changes onto the handles.
+
+    With a :class:`~repro.faults.spec.RestartPolicy` the manager also
+    owns client-side recovery: a FAILED unit is resubmitted under a
+    fresh uid (same description) after capped exponential backoff, up
+    to ``max_restarts`` times, optionally routed away from pilots where
+    it already failed.  ``wait_units`` tracks the *logical* unit — the
+    chain of restarts sharing one root — so callers block until the
+    work item truly finishes, not merely until its first attempt dies.
     """
 
-    def __init__(self, session: Session, scheduler=None):
+    def __init__(self, session: Session, scheduler=None,
+                 restart_policy=None):
         self.session = session
         self.env = session.env
         self.uid = session.next_uid("umgr")
         self.scheduler = scheduler or RoundRobinScheduler()
+        self.restart_policy = restart_policy
+        if restart_policy is not None:
+            restart_policy.validate()
         self.pilots: List[ComputePilot] = []
         self.units: Dict[str, ComputeUnit] = {}
         self._observed: set = set()
+        #: attempt uid -> root uid (the first attempt's uid).
+        self._roots: Dict[str, str] = {}
+        #: root uid -> event fired when the logical unit is final.
+        self._logical: Dict[str, Event] = {}
+        self._restarts_used: Dict[str, int] = {}
+        self._failed_pilots_of: Dict[str, set] = {}
+        self._first_failure_at: Dict[str, float] = {}
         self._watcher = self.env.process(self._watch_loop(),
                                          name=f"{self.uid}-watch")
 
@@ -129,6 +148,40 @@ class UnitManager:
         if isinstance(pilots, ComputePilot):
             pilots = [pilots]
         self.pilots.extend(pilots)
+        for pilot in pilots:
+            self.env.process(self._pilot_watch(pilot),
+                             name=f"{self.uid}-watch-{pilot.uid}")
+
+    def _pilot_watch(self, pilot: ComputePilot):
+        """Fail this manager's in-flight units when a pilot fails.
+
+        The agent marks units it already claimed; this catches units
+        stranded in the DB queue (never claimed because the pilot died
+        during bootstrap) so the restart machinery can reroute them.
+        Only active under a restart policy — without one, stranded
+        units keep the legacy semantics (non-final until the client
+        cancels or resubmits them).
+        """
+        yield pilot.wait()
+        if pilot.state is not PilotState.FAILED:
+            return
+        if self.restart_policy is None:
+            return
+        tel = self.env.telemetry
+        if tel is not None:
+            tel.emit("umgr", "pilot_failed", umgr=self.uid,
+                     pilot=pilot.uid)
+            tel.counter("umgr.pilot_failures").inc()
+        col = self.session.db.collection("units")
+        for uid in sorted(self.units):
+            unit = self.units[uid]
+            if unit.pilot_uid != pilot.uid:
+                continue
+            doc = col.find_one({"_id": uid})
+            if doc is None or UnitState(doc["state"]).is_final:
+                continue
+            advance_doc(col, uid, UnitState.FAILED, self.env.now,
+                        stderr=f"pilot {pilot.uid} failed", exit_code=1)
 
     # --------------------------------------------------------------- units
     def submit_units(self, descriptions: Union[
@@ -140,7 +193,6 @@ class UnitManager:
             descriptions = [descriptions]
         if not self.pilots:
             raise RuntimeError("add_pilots() before submit_units()")
-        col = self.session.db.collection("units")
         handles = []
         for desc in descriptions:
             desc.validate()
@@ -148,33 +200,63 @@ class UnitManager:
             unit = ComputeUnit(self.env, uid, desc)
             pilot = self.scheduler.assign(unit, self.pilots)
             unit.pilot_uid = pilot.uid
-            self.units[uid] = unit
-            col.insert({
-                "_id": uid,
-                "pilot": pilot.uid,
-                "state": UnitState.NEW.value,
-                "history": [(self.env.now, UnitState.NEW.value)],
-                "description": desc,
-                "result": None,
-                "stderr": "",
-                "exit_code": None,
-            })
-            advance_doc(col, uid, UnitState.UMGR_SCHEDULING, self.env.now)
-            tel = self.env.telemetry
-            if tel is not None:
-                tel.emit("unit", "submitted", uid=uid, pilot=pilot.uid,
-                         umgr=self.uid, cores=desc.cores)
-                tel.emit("unit", "state", uid=uid, pilot=pilot.uid,
-                         state=UnitState.UMGR_SCHEDULING.value)
-                tel.counter("umgr.units_submitted").inc()
+            self._roots[uid] = uid
+            self._logical[uid] = Event(self.env)
+            self._insert_unit(unit, pilot)
             handles.append(unit)
         return handles
 
+    def _insert_unit(self, unit: ComputeUnit, pilot: ComputePilot) -> None:
+        """Queue one unit in the shared DB, assigned to ``pilot``."""
+        col = self.session.db.collection("units")
+        uid = unit.uid
+        self.units[uid] = unit
+        col.insert({
+            "_id": uid,
+            "pilot": pilot.uid,
+            "state": UnitState.NEW.value,
+            "history": [(self.env.now, UnitState.NEW.value)],
+            "description": unit.description,
+            "result": None,
+            "stderr": "",
+            "exit_code": None,
+        })
+        advance_doc(col, uid, UnitState.UMGR_SCHEDULING, self.env.now)
+        tel = self.env.telemetry
+        if tel is not None:
+            tel.emit("unit", "submitted", uid=uid, pilot=pilot.uid,
+                     umgr=self.uid, cores=unit.description.cores)
+            tel.emit("unit", "state", uid=uid, pilot=pilot.uid,
+                     state=UnitState.UMGR_SCHEDULING.value)
+            tel.counter("umgr.units_submitted").inc()
+
     def wait_units(self, units: Optional[Iterable[ComputeUnit]] = None) -> Event:
-        """Event firing when all given units (default: all) are final."""
+        """Event firing when all given units (default: all) are final.
+
+        Under a restart policy each unit is tracked as its *logical*
+        work item: a handle that fails and is restarted keeps the event
+        pending until the restarted attempt reaches a final state.
+        """
         targets = list(units) if units is not None else \
             list(self.units.values())
-        return self.env.all_of([u.wait() for u in targets])
+        events, seen = [], set()
+        for u in targets:
+            root = self._roots.get(u.uid, u.uid)
+            logical = self._logical.get(root)
+            if logical is None:
+                events.append(u.wait())
+            elif root not in seen:
+                seen.add(root)
+                events.append(logical)
+        return self.env.all_of(events)
+
+    def final_unit(self, unit: ComputeUnit) -> ComputeUnit:
+        """The last attempt of ``unit``'s restart chain (may be itself)."""
+        root = self._roots.get(unit.uid, unit.uid)
+        logical = self._logical.get(root)
+        if logical is not None and logical.triggered:
+            return logical.value
+        return unit
 
     def cancel_units(self, units: Iterable[ComputeUnit]) -> None:
         """Cancel units that have not been claimed by an agent yet.
@@ -211,6 +293,81 @@ class UnitManager:
                 unit.exit_code = doc.get("exit_code")
                 unit.stderr = doc.get("stderr", "")
                 self._feed_scheduler(unit)
+                self._handle_final(unit)
+
+    # ------------------------------------------------------------- restarts
+    def _handle_final(self, unit: ComputeUnit) -> None:
+        """Route one finally-stated attempt: restart it or settle the
+        logical unit's event."""
+        root = self._roots.get(unit.uid, unit.uid)
+        if unit.state is UnitState.FAILED and self._maybe_restart(unit, root):
+            return
+        logical = self._logical.get(root)
+        if logical is None or logical.triggered:
+            return
+        tel = self.env.telemetry
+        if tel is not None and self._restarts_used.get(root):
+            if unit.state is UnitState.DONE:
+                tel.histogram("umgr.unit_recovery_time").observe(
+                    self.env.now - self._first_failure_at[root])
+                tel.counter("umgr.units_recovered").inc()
+            else:
+                tel.counter("umgr.units_lost").inc()
+        logical.succeed(unit)
+
+    def _maybe_restart(self, unit: ComputeUnit, root: str) -> bool:
+        policy = self.restart_policy
+        if policy is None:
+            return False
+        used = self._restarts_used.get(root, 0)
+        if used >= policy.max_restarts:
+            return False
+        if not any(not p.state.is_final for p in self.pilots):
+            return False
+        self._restarts_used[root] = used + 1
+        self._first_failure_at.setdefault(root, self.env.now)
+        if unit.pilot_uid is not None:
+            self._failed_pilots_of.setdefault(root, set()).add(
+                unit.pilot_uid)
+        delay = policy.delay(used + 1)
+        tel = self.env.telemetry
+        if tel is not None:
+            tel.emit("unit", "restart_scheduled", uid=unit.uid, root=root,
+                     attempt=used + 1, delay=delay, stderr=unit.stderr)
+            tel.counter("umgr.units_restarted").inc()
+        self.env.process(self._restart_later(unit, root, delay),
+                         name=f"{self.uid}-restart-{unit.uid}")
+        return True
+
+    def _restart_later(self, unit: ComputeUnit, root: str, delay: float):
+        yield self.env.timeout(delay if delay > 0 else 0.0)
+        usable = [p for p in self.pilots if not p.state.is_final]
+        logical = self._logical.get(root)
+        if not usable:
+            # every pilot died during the backoff: the logical unit
+            # settles with the failed attempt.
+            if logical is not None and not logical.triggered:
+                logical.succeed(unit)
+            return
+        candidates = usable
+        if self.restart_policy.route_away_from_failed_pilot:
+            failed = self._failed_pilots_of.get(root, set())
+            spared = [p for p in usable if p.uid not in failed]
+            if spared:
+                candidates = spared
+        new_uid = self.session.next_uid("unit", width=6)
+        new_unit = ComputeUnit(self.env, new_uid, unit.description)
+        pilot = self.scheduler.assign(new_unit, candidates)
+        new_unit.pilot_uid = pilot.uid
+        self._roots[new_uid] = root
+        faults = self.env.faults
+        if faults is not None:
+            faults.transfer_unit_error(unit.uid, new_uid)
+        self._insert_unit(new_unit, pilot)
+        tel = self.env.telemetry
+        if tel is not None:
+            tel.emit("unit", "restarted", uid=new_uid,
+                     restart_of=unit.uid, root=root, pilot=pilot.uid)
 
     def _feed_scheduler(self, unit: ComputeUnit) -> None:
         """Report an execution observation to learning schedulers."""

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-from repro.core import ComputeUnitDescription
+from repro.api import ComputeUnitDescription
 from repro.experiments.calibration import CALIBRATED_YARN, agent_config
 from repro.experiments.harness import Testbed, experiment_machine
 from repro.cluster.machine import Machine

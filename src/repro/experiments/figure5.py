@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.core import ComputeUnitDescription
+from repro.api import ComputeUnitDescription
 from repro.experiments.calibration import agent_config
 from repro.experiments.harness import Testbed
 

@@ -7,7 +7,7 @@ from typing import Optional, Tuple
 
 from repro.cluster.machine import MachineSpec, stampede, wrangler
 from repro.cluster.storage import StorageSpec
-from repro.core import (
+from repro.api import (
     ComputePilotDescription,
     PilotManager,
     PilotState,

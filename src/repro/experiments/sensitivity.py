@@ -20,8 +20,8 @@ from repro.analytics import generate_points, kmeans_reference
 from repro.analytics.kmeans import run_kmeans_pilot
 from repro.cluster.machine import stampede
 from repro.cluster.storage import StorageSpec
-from repro.core import PilotManager, Session, UnitManager
-from repro.core import ComputePilotDescription, PilotState
+from repro.api import PilotManager, Session, UnitManager
+from repro.api import ComputePilotDescription, PilotState
 from repro.experiments.calibration import (
     CALIBRATED_KMEANS_COST,
     CALIBRATED_RMS,

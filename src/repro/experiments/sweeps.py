@@ -29,7 +29,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field, is_dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-GRIDS = ("figure5", "figure6", "ablations", "sensitivity")
+GRIDS = ("figure5", "figure6", "ablations", "sensitivity", "chaos")
 
 
 @dataclass(frozen=True)
@@ -126,6 +126,20 @@ def sensitivity_cells(root_seed: int = 42,
     ]
 
 
+def chaos_cells(root_seed: int = 42,
+                quick: bool = False) -> List[SweepCell]:
+    """The fault-injection grid: bag chaos, NM loss, HDFS healing."""
+    from repro.experiments.chaos import FAULT_RATES
+    rates = FAULT_RATES[:2] if quick else FAULT_RATES
+    cells = [
+        _cell("chaos", "bag", root_seed, fault_rate=rate, flavor="RP")
+        for rate in rates
+    ]
+    cells.append(_cell("chaos", "nm-loss", root_seed, machine="stampede"))
+    cells.append(_cell("chaos", "hdfs-heal", root_seed, replication=2))
+    return cells
+
+
 def build_cells(grid: str, root_seed: int = 42,
                 quick: bool = False) -> List[SweepCell]:
     """The named grid's declarative cell list."""
@@ -137,6 +151,8 @@ def build_cells(grid: str, root_seed: int = 42,
         return ablations_cells(root_seed)
     if grid == "sensitivity":
         return sensitivity_cells(root_seed)
+    if grid == "chaos":
+        return chaos_cells(root_seed, quick=quick)
     raise ValueError(f"unknown sweep grid {grid!r}; known: {GRIDS}")
 
 
@@ -156,7 +172,7 @@ def _jsonify(value: Any) -> Any:
 
 
 def _run_figure5_cell(cell: SweepCell) -> List[Dict[str, Any]]:
-    from repro.core import ComputeUnitDescription
+    from repro.api import ComputeUnitDescription
     from repro.experiments.calibration import agent_config
     from repro.experiments.figure5 import StartupRow, UnitStartupRow
     from repro.experiments.harness import Testbed
@@ -225,11 +241,21 @@ def _run_sensitivity_cell(cell: SweepCell) -> List[Dict[str, Any]]:
              "runtime": runtime}]
 
 
+def _run_chaos_cell(cell: SweepCell) -> List[Dict[str, Any]]:
+    from repro.experiments.chaos import run_chaos_cell
+    params = dict(cell.params)
+    row = run_chaos_cell(cell.kind, seed=cell.seed,
+                         flavor=params.get("flavor", "RP"),
+                         fault_rate=params.get("fault_rate"))
+    return [_jsonify(row)]
+
+
 _CELL_RUNNERS = {
     "figure5": _run_figure5_cell,
     "figure6": _run_figure6_cell,
     "ablations": _run_ablations_cell,
     "sensitivity": _run_sensitivity_cell,
+    "chaos": _run_chaos_cell,
 }
 
 

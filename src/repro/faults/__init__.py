@@ -1,0 +1,21 @@
+"""repro.faults: deterministic fault injection and recovery policies.
+
+Faults are described by :class:`FaultSpec`s, collected into a
+:class:`FaultPlan` (usually via ``session.faults``), and executed by a
+:class:`FaultInjector` installed on the environment as ``env.faults``.
+Recovery is the stack's job — HDFS re-replication, YARN container
+re-attempts, Unit-Manager restarts under a :class:`RestartPolicy` —
+and everything is a deterministic function of the seed and the plan.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.faults.spec import FAULT_KINDS, FaultSpec, RestartPolicy
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "RestartPolicy",
+]

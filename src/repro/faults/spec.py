@@ -1,0 +1,129 @@
+"""Describe-objects for fault injection and recovery policies.
+
+Both follow the repo-wide keyword-validated dataclass convention
+(:class:`repro.core.description.Description`): plain dataclasses whose
+``validate()`` raises :class:`~repro.core.description.DescriptionError`.
+
+A :class:`FaultSpec` is one scheduled infrastructure event.  A chaos
+experiment is a list of them armed on a session's
+:class:`~repro.faults.plan.FaultPlan` — fully determined by the specs
+plus the session seed, so the same plan replays byte-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.description import Description, DescriptionError
+
+#: Every fault kind the injector understands.
+FAULT_KINDS = (
+    "node_crash",          # a compute node dies (optionally transient)
+    "datanode_loss",       # an HDFS DataNode process dies
+    "nodemanager_loss",    # a YARN NodeManager process dies
+    "network_degrade",     # backbone/link bandwidth scaled by `factor`
+    "network_partition",   # `target` node group cut off for `duration`
+    "straggler",           # node runs `factor`x slower for `duration`
+    "container_kill",      # kill one running YARN container
+    "unit_error",          # unit `target` fails its next `times` attempts
+)
+
+#: Kinds whose ``target`` is a compute-node name.
+NODE_TARGETED = ("node_crash", "datanode_loss", "nodemanager_loss",
+                 "straggler")
+
+
+@dataclass
+class FaultSpec(Description):
+    """One deterministic infrastructure fault.
+
+    ``at`` is the simulation time the fault fires.  ``target`` names
+    what it hits: a node for the node-scoped kinds, a comma-separated
+    node group for ``network_partition``, a machine name (or ``""`` =
+    every machine) for ``network_degrade``, a node (or ``""`` = any)
+    for ``container_kill``, and a unit uid for ``unit_error``
+    (``unit_error`` arms immediately; ``at`` is ignored).
+
+    ``duration`` turns a fault into an episode with a healing edge:
+    transient node outage, bounded slowdown, partition that heals.
+    """
+
+    kind: str
+    at: float = 0.0
+    target: str = ""
+    duration: Optional[float] = None   # None = permanent
+    factor: float = 1.0                # degrade (<1) / straggler (>1)
+    times: int = 1                     # unit_error: attempts poisoned
+    name: str = ""                     # optional label for telemetry
+
+    def _check(self) -> None:
+        self._require(self.kind in FAULT_KINDS,
+                      f"unknown fault kind {self.kind!r}")
+        self._require(self.at >= 0, "fault time must be non-negative")
+        if self.duration is not None:
+            self._require(self.duration > 0,
+                          "fault duration must be positive")
+        if self.kind in NODE_TARGETED or self.kind == "unit_error":
+            self._require(bool(self.target),
+                          f"{self.kind} fault needs a target")
+        if self.kind == "network_partition":
+            self._require(bool(self.target),
+                          "network_partition needs a node group target")
+            # A permanent partition deadlocks every crossing transfer.
+            self._require(self.duration is not None,
+                          "network_partition needs a duration")
+        if self.kind == "network_degrade":
+            self._require(0 < self.factor < 1,
+                          "network_degrade factor must be in (0, 1)")
+        if self.kind == "straggler":
+            self._require(self.factor > 1,
+                          "straggler factor must be > 1")
+        if self.kind == "unit_error":
+            self._require(self.times >= 1,
+                          "unit_error needs times >= 1")
+
+    def partition_group(self) -> frozenset:
+        """The node-name group of a ``network_partition`` target."""
+        return frozenset(
+            part.strip() for part in self.target.split(",") if part.strip())
+
+    @property
+    def label(self) -> str:
+        return self.name or f"{self.kind}@{self.at:g}"
+
+
+@dataclass
+class RestartPolicy(Description):
+    """Unit-Manager recovery policy for FAILED Compute-Units.
+
+    A failed unit is re-submitted as a fresh unit (new uid, same
+    description) after a capped exponential backoff:
+    ``delay(n) = min(backoff * backoff_factor**(n-1), backoff_cap)``
+    for restart number ``n``.  ``route_away_from_failed_pilot`` biases
+    the re-submission away from every pilot a previous attempt failed
+    on, when an alternative pilot is available.
+    """
+
+    max_restarts: int = 3
+    backoff: float = 1.0
+    backoff_factor: float = 2.0
+    backoff_cap: float = 60.0
+    route_away_from_failed_pilot: bool = True
+
+    def _check(self) -> None:
+        self._require(self.max_restarts >= 0,
+                      "max_restarts must be non-negative")
+        self._require(self.backoff >= 0, "backoff must be non-negative")
+        self._require(self.backoff_factor >= 1,
+                      "backoff_factor must be >= 1")
+        self._require(self.backoff_cap >= self.backoff,
+                      "backoff_cap must be >= backoff")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before restart number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise DescriptionError(
+                f"restart attempt must be >= 1, got {attempt}")
+        return min(self.backoff * self.backoff_factor ** (attempt - 1),
+                   self.backoff_cap)

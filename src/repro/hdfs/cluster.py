@@ -26,7 +26,9 @@ class HdfsCluster:
     def __init__(self, env: Environment, machine: Machine,
                  nodes: List[Node], replication: int = 3,
                  block_size: float = 128 * 1024 ** 2,
-                 rng: Optional[RngStream] = None):
+                 rng: Optional[RngStream] = None,
+                 auto_heal: bool = False, heal_interval: float = 3.0,
+                 dn_timeout: float = 10.0):
         self.env = env
         self.machine = machine
         self.nodes = list(nodes)
@@ -37,6 +39,17 @@ class HdfsCluster:
         for dn in self.datanodes:
             self.namenode.register_datanode(dn)
         self.running = False
+        #: Run the NameNode's replication monitor (heartbeat-timeout
+        #: DataNode loss detection + re-replication) while the cluster
+        #: is up.  Off by default: standalone-HDFS tests drive
+        #: :meth:`NameNode.handle_datanode_loss` by hand.
+        self.auto_heal = auto_heal
+        self.heal_interval = heal_interval
+        self.dn_timeout = dn_timeout
+        self._monitor = None
+        faults = env.faults
+        if faults is not None:
+            faults.register_hdfs(self)
 
     @property
     def master_node(self) -> Node:
@@ -49,6 +62,11 @@ class HdfsCluster:
         starts = [self.env.process(dn.start()) for dn in self.datanodes]
         yield self.env.all_of(starts)
         self.running = True
+        if self.auto_heal:
+            self._monitor = self.env.process(
+                self.namenode.replication_monitor(
+                    self.heal_interval, self.dn_timeout),
+                name="hdfs-replication-monitor")
 
     def stop(self) -> None:
         for dn in self.datanodes:

@@ -50,6 +50,8 @@ class DataNode:
         self.running = False
         self.bytes_written = 0.0
         self.bytes_read = 0.0
+        #: When :meth:`fail` hit (MTTR base for re-replication).
+        self.failed_at: Optional[float] = None
         # ARCHIVE: dense, slow spindles — 10x the local capacity at a
         # third of the bandwidth unless specified explicitly.
         local = node.local_disk.spec
@@ -149,8 +151,26 @@ class DataNode:
         return block_id in self.blocks
 
     def fail(self) -> None:
-        """Crash the daemon; replicas on disk become unreachable."""
+        """Crash the daemon; its replicas are lost.
+
+        Every replica's bytes are released back to the tier volume's
+        capacity ledger and the local metadata is cleared — so a later
+        ``delete_file`` on the NameNode cannot double-free, and the
+        sanitizer's replica/capacity checks stay exact.  Emits the
+        telemetry the YARN ``node_failed`` path already has.
+        """
+        tel = self.env.telemetry
+        if tel is not None:
+            tel.emit("hdfs", "datanode_failed", node=self.name,
+                     blocks=len(self.blocks),
+                     nbytes=sum(b.nbytes for b in self.blocks.values()))
+            tel.counter("hdfs.datanode.failures").inc()
+        for block_id, block in list(self.blocks.items()):
+            storage_type = self.block_storage.pop(block_id, DISK)
+            self.volume(storage_type).delete(block.nbytes)
+        self.blocks.clear()
         self.running = False
+        self.failed_at = self.env.now
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<DataNode {self.name} blocks={len(self.blocks)}>"

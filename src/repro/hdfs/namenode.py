@@ -238,6 +238,60 @@ class NameNode:
                 if (dn := self.datanodes.get(name)) is not None and dn.alive
                 and dn.holds(block_id)]
 
+    def replication_factor_of(self, path: str) -> int:
+        """Smallest live replica count over a file's blocks."""
+        meta = self.file_meta(path)
+        return min((len(self._live_replica_nodes(b.block_id))
+                    for b in meta.blocks), default=0)
+
+    def replication_monitor(self, interval: float = 3.0,
+                            dn_timeout: float = 10.0):
+        """Heartbeat-timeout DataNode failure detection.  Process generator.
+
+        The paper's stack assumes HDFS absorbs node loss; this is the
+        NameNode-side loop that makes it true in the simulation: every
+        ``interval`` seconds each registered DataNode is checked, one
+        that has been unreachable for ``dn_timeout`` seconds is declared
+        lost, and its blocks are re-replicated from surviving copies
+        (:meth:`handle_datanode_loss`).  MTTR — failure to restored
+        replication — lands in the ``hdfs.rereplication_mttr``
+        histogram.  Runs until :meth:`stop`; started by
+        :class:`~repro.hdfs.cluster.HdfsCluster` when ``auto_heal`` is
+        on.
+        """
+        suspected: Dict[str, float] = {}
+        handled: set = set()
+        while self.running:
+            yield self.env.timeout(interval)
+            if not self.running:
+                return
+            for name in sorted(self.datanodes):
+                dn = self.datanodes[name]
+                if dn.alive:
+                    suspected.pop(name, None)
+                    handled.discard(name)
+                    continue
+                if name in handled:
+                    continue
+                first_seen = suspected.setdefault(name, self.env.now)
+                if self.env.now - first_seen < dn_timeout:
+                    continue
+                handled.add(name)
+                failed_at = dn.failed_at
+                if failed_at is None:
+                    failed_at = first_seen
+                tel = self.env.telemetry
+                if tel is not None:
+                    tel.emit("hdfs", "datanode_lost", node=name,
+                             detected_after=self.env.now - failed_at)
+                    tel.counter("hdfs.datanodes_lost").inc()
+                yield from self.handle_datanode_loss(name)
+                if tel is not None:
+                    mttr = self.env.now - failed_at
+                    tel.histogram("hdfs.rereplication_mttr").observe(mttr)
+                    tel.emit("hdfs", "rereplication_complete", node=name,
+                             mttr=mttr)
+
     def handle_datanode_loss(self, node_name: str):
         """Re-replicate blocks lost with a DataNode.  Process generator.
 

@@ -306,6 +306,12 @@ class Environment:
     #: ``None`` = disabled.  Instrumented components pay one attribute
     #: load and a branch when off, exactly like telemetry.
     sanitizer = None
+    #: Set by :meth:`repro.faults.injector.FaultInjector.install`;
+    #: ``None`` = no fault injection.  Clusters register themselves as
+    #: fault targets when installed; the agent pipeline consults it for
+    #: injected transient unit errors.  Same opt-in hub pattern as
+    #: ``telemetry``/``sanitizer``.
+    faults = None
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)

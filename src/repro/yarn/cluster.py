@@ -34,6 +34,9 @@ class YarnCluster:
         for nm in self.node_managers:
             self.resource_manager.register_node_manager(nm)
         self.running = False
+        faults = env.faults
+        if faults is not None:
+            faults.register_yarn(self)
 
     @property
     def master_node(self) -> Node:

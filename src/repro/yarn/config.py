@@ -35,6 +35,21 @@ class YarnConfig:
     am_heartbeat: float = 1.0
     #: Heartbeats to wait for a node-local slot before relaxing locality.
     locality_delay_heartbeats: int = 3
+    #: Consecutive missed NM heartbeats before the RM declares the node
+    #: LOST and reclaims its containers
+    #: (yarn.nm.liveness-monitor.expiry-interval-ms, in beats).
+    nm_liveness_heartbeats: int = 3
+
+    # --- fault tolerance (yarn.resourcemanager.am.max-attempts et al.) -----
+    #: Container (re-)attempts per unit inside the per-unit AM; 1 =
+    #: single shot (the seed behaviour — failures surface immediately).
+    am_max_attempts: int = 1
+    #: Base backoff before a container re-attempt (seconds), growing by
+    #: ``am_retry_backoff_factor`` per attempt, capped at
+    #: ``am_retry_backoff_cap`` — YARN's capped exponential policy.
+    am_retry_backoff: float = 2.0
+    am_retry_backoff_factor: float = 2.0
+    am_retry_backoff_cap: float = 60.0
 
     # --- launch costs (the JVM tax) ----------------------------------------
     #: ``yarn jar`` client JVM start + app submission RPC.

@@ -34,6 +34,8 @@ class NodeManager:
         self.containers: Dict[str, Container] = {}
         self._procs: Dict[str, object] = {}
         self.running = False
+        #: When :meth:`fail` hit (MTTR base for the RM's loss handling).
+        self.failed_at: Optional[float] = None
 
     @property
     def name(self) -> str:
@@ -125,14 +127,21 @@ class NodeManager:
                 done.succeed(container)
                 return
             container.state = ContainerState.RUNNING
+            child = self.env.process(
+                payload(self.env, container),
+                name=f"container-{container.container_id}")
             try:
-                result = yield self.env.process(
-                    payload(self.env, container),
-                    name=f"container-{container.container_id}")
+                result = yield child
             except Interrupt as intr:
                 if not container.state.is_final:
                     container.state = ContainerState.KILLED
                     container.diagnostics = str(intr.cause)
+                if child.is_alive:
+                    # The process inside the container dies with it —
+                    # otherwise the payload would keep simulating (and
+                    # touching unit state) as a zombie.
+                    child.interrupt(cause=intr.cause)
+                    child.callbacks.append(lambda _event: None)  # defused
             except Exception as exc:
                 container.state = ContainerState.FAILED
                 container.exit_code = 1
@@ -168,7 +177,13 @@ class NodeManager:
         self._release(container)
 
     def fail(self) -> None:
-        """Crash the NM: all containers die with it."""
+        """Crash the NM: all containers die with it.
+
+        Killing each container releases its reservation back into the
+        NM ledger (``used``/``containers``), so the RM's capacity
+        arithmetic — and the sanitizer's per-NM checks — stay exact
+        across the failure.
+        """
         tel = self.env.telemetry
         if tel is not None:
             tel.emit("yarn", "node_failed", node=self.name,
@@ -178,6 +193,7 @@ class NodeManager:
             self.kill_container(container.container_id,
                                 ContainerState.KILLED, "NM lost")
         self.running = False
+        self.failed_at = self.env.now
 
     def __repr__(self) -> str:  # pragma: no cover
         return (f"<NodeManager {self.name} used={self.used.memory_mb}MB/"

@@ -182,6 +182,9 @@ class ResourceManager:
         self._container_counter = itertools.count(1)
         self.running = False
         self._heartbeat_procs: List[object] = []
+        #: Nodes declared LOST after missing ``nm_liveness_heartbeats``
+        #: consecutive heartbeats; cleared again if the node comes back.
+        self.lost_nodes: set = set()
         self.metrics_counters = {"appsSubmitted": 0, "appsCompleted": 0,
                                  "appsFailed": 0, "appsKilled": 0,
                                  "containersAllocated": 0}
@@ -210,10 +213,40 @@ class ResourceManager:
             self._heartbeat_loop(nm), name=f"hb-{nm.name}"))
 
     def _heartbeat_loop(self, nm: NodeManager):
+        """Heartbeat-driven scheduling *and* liveness detection for one
+        NM: a node silent for ``nm_liveness_heartbeats`` consecutive
+        beats is declared lost and its containers reclaimed — the RM
+        half of the paper's heartbeat-timeout failure handling."""
+        missed = 0
         while self.running:
             yield self.env.timeout(self.config.nm_heartbeat)
             if nm.alive:
+                if missed:
+                    self.lost_nodes.discard(nm.name)
+                missed = 0
                 self._schedule_on(nm)
+            else:
+                missed += 1
+                if (missed >= self.config.nm_liveness_heartbeats
+                        and nm.name not in self.lost_nodes):
+                    self._handle_node_loss(nm)
+
+    def _handle_node_loss(self, nm: NodeManager) -> None:
+        """Declare ``nm`` LOST: kill its containers so their apps see
+        the completions and the capacity ledgers stay exact."""
+        self.lost_nodes.add(nm.name)
+        live = [c for c in nm.containers.values() if not c.state.is_final]
+        for container in live:
+            nm.kill_container(container.container_id, ContainerState.KILLED,
+                              f"node {nm.name} lost")
+        tel = self.env.telemetry
+        if tel is not None:
+            tel.emit("yarn", "node_lost", node=nm.name,
+                     containers=len(live))
+            tel.counter("yarn.rm.nodes_lost").inc()
+        sanitizer = self.env.sanitizer
+        if sanitizer is not None:
+            sanitizer.check_resource_manager(self)
 
     # ---------------------------------------------------------- submission
     def submit_application(self, spec: AppSpec) -> AppRecord:

@@ -10,7 +10,7 @@ from repro.analytics import (
     simulate_walker,
 )
 from repro.analytics.adaptive import DOMAIN
-from repro.core import ComputePilotDescription, PilotState
+from repro.api import ComputePilotDescription, PilotState
 from tests.core.test_units import fast_agent
 
 

@@ -22,7 +22,7 @@ from repro.analytics.graphs import (
     generate_graph,
 )
 from repro.cluster import Machine, stampede
-from repro.core import ComputePilotDescription, PilotState
+from repro.api import ComputePilotDescription, PilotState
 from repro.hdfs import HdfsCluster
 from repro.sim import Environment, SeedSequenceRegistry
 from repro.spark import SparkConf, SparkStandaloneCluster

@@ -15,7 +15,7 @@ from repro.analytics import (
     run_kmeans_spark,
 )
 from repro.cluster import Machine, stampede
-from repro.core import (
+from repro.api import (
     AgentConfig,
     ComputePilotDescription,
     PilotManager,

@@ -9,7 +9,7 @@ from repro.analytics.repex import (
     potential,
     run_replica_exchange,
 )
-from repro.core import ComputePilotDescription, PilotState
+from repro.api import ComputePilotDescription, PilotState
 from tests.core.test_units import fast_agent
 
 

@@ -10,7 +10,7 @@ from repro.analytics import (
     synthesize_trajectory,
 )
 from repro.cluster import stampede
-from repro.core import (
+from repro.api import (
     AgentConfig,
     ComputePilotDescription,
     PilotManager,

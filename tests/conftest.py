@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cluster import stampede, wrangler
-from repro.core import PilotManager, Session, UnitManager
+from repro.api import PilotManager, Session, UnitManager
 from repro.rms import RmsConfig
 from repro.saga import Registry, Site
 from repro.sim import Environment

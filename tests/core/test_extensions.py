@@ -9,7 +9,7 @@ import pytest
 
 from repro.analytics import generate_points, kmeans_reference
 from repro.analytics.kmeans import run_kmeans_pilot
-from repro.core import (
+from repro.api import (
     ComputePilotDescription,
     ComputeUnitDescription,
     PilotState,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import (
+from repro.api import (
     ComputePilotDescription,
     ComputeUnitDescription,
     PilotManager,

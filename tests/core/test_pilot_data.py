@@ -6,7 +6,7 @@ CPython 3.11 ``ast`` recursion-guard bug; plain asserts work fine.
 
 import pytest
 
-from repro.core import (
+from repro.api import (
     ComputeDataService,
     ComputePilotDescription,
     ComputeUnitDescription,

@@ -7,7 +7,7 @@ recursion depth mismatch); plain asserts work fine.
 
 import pytest
 
-from repro.core import (
+from repro.api import (
     AgentConfig,
     ComputePilotDescription,
     ComputeUnitDescription,

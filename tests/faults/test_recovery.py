@@ -1,0 +1,150 @@
+"""Recovery paths: UM restarts, routing, pilot loss, YARN re-attempts."""
+
+import pytest
+
+from repro.api import (
+    ComputePilotDescription,
+    ComputeUnitDescription,
+    PilotManager,
+    PilotState,
+    RestartPolicy,
+    Session,
+    UnitManager,
+    UnitState,
+)
+from repro.cluster import stampede
+from repro.saga import Registry, Site
+from repro.sim import Environment
+from repro.yarn import YarnConfig
+from tests.conftest import FAST_RMS
+from tests.core.test_units import active_pilot, fast_agent
+
+
+def restart_umgr(session, **policy_kw):
+    defaults = dict(max_restarts=2, backoff=0.5, backoff_factor=2.0,
+                    backoff_cap=8.0)
+    defaults.update(policy_kw)
+    return UnitManager(session, restart_policy=RestartPolicy(**defaults))
+
+
+def test_poisoned_unit_recovers_under_new_uid(stack):
+    env, registry, session, pmgr, umgr = stack
+    umgr = restart_umgr(session)
+    active_pilot(env, pmgr, umgr)
+    units = umgr.submit_units(ComputeUnitDescription(cores=1,
+                                                     cpu_seconds=5.0))
+    session.faults.unit_error(units[0].uid, times=1)
+    env.run(umgr.wait_units(units))
+    assert units[0].state is UnitState.FAILED          # first attempt died
+    final = umgr.final_unit(units[0])
+    assert final.state is UnitState.DONE               # the work item won
+    assert final.uid != units[0].uid
+    assert umgr._restarts_used == {units[0].uid: 1}
+
+
+def test_max_restarts_is_a_hard_cap(stack):
+    env, registry, session, pmgr, umgr = stack
+    umgr = restart_umgr(session, max_restarts=2)
+    active_pilot(env, pmgr, umgr)
+    units = umgr.submit_units(ComputeUnitDescription(cores=1,
+                                                     cpu_seconds=5.0))
+    session.faults.unit_error(units[0].uid, times=10)  # always poisoned
+    env.run(umgr.wait_units(units))
+    final = umgr.final_unit(units[0])
+    assert final.state is UnitState.FAILED
+    assert umgr._restarts_used[units[0].uid] == 2
+    # 1 original + 2 restarts were attempted, no more
+    root = units[0].uid
+    attempts = [u for u, r in umgr._roots.items() if r == root]
+    assert len(attempts) == 3
+
+
+def test_restart_backoff_timing_is_exact(stack):
+    env, registry, session, pmgr, umgr = stack
+    umgr = restart_umgr(session, max_restarts=3, backoff=3.0,
+                        backoff_factor=2.0, backoff_cap=100.0)
+    active_pilot(env, pmgr, umgr)
+    units = umgr.submit_units(ComputeUnitDescription(cores=1,
+                                                     cpu_seconds=5.0))
+    session.faults.unit_error(units[0].uid, times=2)   # fail, fail, done
+    env.run(umgr.wait_units(units))
+    root = units[0].uid
+    chain = sorted(u for u, r in umgr._roots.items() if r == root)
+    assert len(chain) == 3
+    for n, (prev, cur) in enumerate(zip(chain, chain[1:]), start=1):
+        failed_at = umgr.units[prev].timestamp(UnitState.FAILED)
+        resubmitted_at = umgr.units[cur].timestamp(UnitState.NEW)
+        assert resubmitted_at - failed_at == pytest.approx(3.0 * 2 ** (n - 1))
+    assert umgr.final_unit(units[0]).state is UnitState.DONE
+
+
+def test_restart_routes_away_from_failed_pilot(stack):
+    env, registry, session, pmgr, umgr = stack
+    umgr = restart_umgr(session)
+    active_pilot(env, pmgr, umgr, nodes=1)
+    active_pilot(env, pmgr, umgr, nodes=1)
+    units = umgr.submit_units(ComputeUnitDescription(cores=1,
+                                                     cpu_seconds=5.0))
+    session.faults.unit_error(units[0].uid, times=1)
+    env.run(umgr.wait_units(units))
+    final = umgr.final_unit(units[0])
+    assert final.state is UnitState.DONE
+    root = units[0].uid
+    assert final.pilot_uid not in umgr._failed_pilots_of[root]
+    assert units[0].pilot_uid in umgr._failed_pilots_of[root]
+
+
+def test_units_stranded_on_failed_pilot_are_restarted():
+    env = Environment()
+    registry = Registry()
+    registry.register(Site(env, stampede(num_nodes=3),
+                           rms_config=FAST_RMS))
+    session = Session(env, registry)
+    pmgr = PilotManager(session, heartbeat_timeout=20.0,
+                        heartbeat_check_interval=5.0)
+    umgr = restart_umgr(session, backoff=1.0)
+    # Pilot 0 hangs after going ACTIVE (poll interval beyond the
+    # heartbeat timeout); pilot 1 is healthy.
+    hung = pmgr.submit_pilot(ComputePilotDescription(
+        resource="slurm://stampede", nodes=1, runtime=600,
+        agent_config=fast_agent(db_poll_interval=1e6)))
+    healthy = pmgr.submit_pilot(ComputePilotDescription(
+        resource="slurm://stampede", nodes=1, runtime=600,
+        agent_config=fast_agent()))
+    umgr.add_pilots([hung, healthy])
+    env.run(env.all_of([hung.wait(PilotState.ACTIVE),
+                        healthy.wait(PilotState.ACTIVE)]))
+    units = umgr.submit_units([ComputeUnitDescription(cores=1,
+                                                      cpu_seconds=5.0)
+                               for _ in range(2)])
+    # RoundRobin dealt unit 0 to the hung pilot, unit 1 to the healthy
+    assert units[0].pilot_uid == hung.uid
+    env.run(umgr.wait_units(units))
+    assert hung.state is PilotState.FAILED
+    for unit in units:
+        final = umgr.final_unit(unit)
+        assert final.state is UnitState.DONE
+        assert final.pilot_uid == healthy.uid
+    # the stranded unit was failed by the pilot watch, then restarted
+    assert "pilot" in units[0].stderr
+    assert umgr._restarts_used[units[0].uid] == 1
+
+
+def test_yarn_am_reattempts_absorb_container_kill(stack):
+    env, registry, session, pmgr, umgr = stack
+    plan = session.faults         # install before the Mode I cluster
+    tel = session.telemetry
+    active_pilot(env, pmgr, umgr, nodes=2, lrm="yarn",
+                 hadoop_dist_bytes=float(10 * 1024 ** 2),
+                 configure_seconds=0.5,
+                 yarn_config=YarnConfig(am_max_attempts=3,
+                                        am_retry_backoff=0.5,
+                                        am_retry_backoff_cap=2.0))
+    units = umgr.submit_units(ComputeUnitDescription(
+        cores=1, cpu_seconds=60.0, memory_mb=1024))
+    env.run(units[0].wait(UnitState.EXECUTING))
+    plan.container_kill(at=env.now + 2.0)
+    env.run(umgr.wait_units(units))
+    assert units[0].state is UnitState.DONE            # same handle, no UM restart
+    assert tel.counter("yarn.am.reattempts").total == 1
+    assert [s.kind for s in plan.injector.fired] == ["container_kill"]

@@ -9,7 +9,7 @@ import numpy as np
 from repro.analytics import generate_points, kmeans_reference
 from repro.analytics.kmeans import run_kmeans_mapreduce
 from repro.cluster import Machine, stampede
-from repro.core import (
+from repro.api import (
     ComputePilotDescription,
     ComputeUnitDescription,
     PilotManager,
@@ -29,7 +29,7 @@ FAST_RMS = RmsConfig(submit_latency=0.2, schedule_interval=0.5,
 
 
 def fast_agent(**kw):
-    from repro.core import AgentConfig
+    from repro.api import AgentConfig
     defaults = dict(bootstrap_seconds=2.0, db_connect_seconds=0.2,
                     db_poll_interval=0.2, spawn_overhead_seconds=0.1)
     defaults.update(kw)

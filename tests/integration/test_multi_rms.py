@@ -10,7 +10,7 @@ schedulers SAGA-Hadoop and RADICAL-Pilot support.
 import pytest
 
 from repro.cluster import stampede
-from repro.core import (
+from repro.api import (
     AgentConfig,
     ComputePilotDescription,
     ComputeUnitDescription,
