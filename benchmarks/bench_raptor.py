@@ -1,0 +1,179 @@
+"""Raptor overlay microbenchmarks: task-stream wall-clock throughput.
+
+Two probes:
+
+* ``overlay_tasks_per_sec_wall`` — host wall-clock rate of pushing a
+  10k-task stream through a warm fork-pilot overlay (31 workers).  This
+  is the hot loop of the 1e4-1e6 sweep cells: master dispatch, two
+  interconnect sends, worker compute race, result settle.
+* ``overlay_fault_tasks_per_sec_wall`` — the same loop with a worker
+  node crash mid-stream and retries under a restart policy, so the
+  recovery path (requeue, re-dispatch, worker re-registration) stays on
+  the measured path.
+
+Run standalone to (re)write the committed ``BENCH_raptor.json``
+baseline::
+
+    PYTHONPATH=src python benchmarks/bench_raptor.py [--rounds N] [--out FILE]
+
+check mode (used by CI; exits non-zero on a >``--tolerance`` regression
+against the committed baseline)::
+
+    PYTHONPATH=src python benchmarks/bench_raptor.py --rounds 1 \
+        --check BENCH_raptor.json --tolerance 0.30
+
+or under pytest (one cut-down round, sanity asserts only)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_raptor.py -q
+
+Numbers are machine-dependent; the baseline exists to make *relative*
+movement visible from PR to PR on comparable hardware.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.api import RaptorConfig, RestartPolicy, TaskDescription
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_raptor.json"
+
+
+def _overlay_stack(seed: int = 7, workers: int = 31,
+                   restart_policy=None):
+    from repro.experiments.calibration import agent_config
+    from repro.experiments.harness import Testbed
+
+    testbed = Testbed("stampede", num_nodes=3, seed=seed)
+    pilot, _, _ = testbed.start_pilot(
+        nodes=2, agent_config=agent_config("fork"))
+    overlay = testbed.session.raptor(
+        pilot, workers=workers, restart_policy=restart_policy,
+        config=RaptorConfig(retain_results=False))
+    testbed.env.run(overlay.ready())
+    return testbed, overlay
+
+
+def bench_overlay_stream(ntasks: int = 10_000) -> float:
+    """Wall-clock tasks/sec of one warm-overlay task stream."""
+    testbed, overlay = _overlay_stack()
+    task = TaskDescription(cpu_seconds=0.05)
+    t0 = time.perf_counter()
+    overlay.submit_tasks([task] * ntasks, futures=False)
+    testbed.env.run(overlay.wait())
+    elapsed = time.perf_counter() - t0
+    stats = overlay.stats()
+    assert stats["tasks_completed"] == ntasks, stats
+    return ntasks / elapsed
+
+
+def bench_overlay_fault_stream(ntasks: int = 5_000) -> float:
+    """Wall-clock tasks/sec with a mid-stream worker-node crash."""
+    testbed, overlay = _overlay_stack(
+        restart_policy=RestartPolicy(max_restarts=3, backoff=1.0))
+    master_node = overlay.master.node.name
+    victim = sorted({w.node.name for w in overlay.master.workers
+                     if w.node.name != master_node})[0]
+    t0_sim = testbed.env.now
+    testbed.session.faults.node_crash(at=t0_sim + 1.0, node=victim,
+                                      duration=5.0)
+    task = TaskDescription(cpu_seconds=0.05)
+    t0 = time.perf_counter()
+    overlay.submit_tasks([task] * ntasks, futures=False)
+    testbed.env.run(overlay.wait())
+    elapsed = time.perf_counter() - t0
+    stats = overlay.stats()
+    assert stats["tasks_completed"] + stats["tasks_failed"] == ntasks, stats
+    assert stats["workers_lost"] > 0, "fault never fired"
+    return ntasks / elapsed
+
+
+# ----------------------------------------------------------------- driver
+def run_benchmarks(rounds: int = 3) -> dict:
+    """Best-of-``rounds`` for each probe (higher is better)."""
+    results = {
+        "overlay_tasks_per_sec_wall": 0.0,
+        "overlay_fault_tasks_per_sec_wall": 0.0,
+    }
+    for _ in range(rounds):
+        results["overlay_tasks_per_sec_wall"] = max(
+            results["overlay_tasks_per_sec_wall"], bench_overlay_stream())
+        results["overlay_fault_tasks_per_sec_wall"] = max(
+            results["overlay_fault_tasks_per_sec_wall"],
+            bench_overlay_fault_stream())
+    results["rounds"] = rounds
+    return results
+
+
+def check_against(results: dict, baseline: dict,
+                  tolerance: float) -> list:
+    """Probes regressed by more than ``tolerance`` vs the baseline."""
+    failures = []
+    for key, base in baseline.items():
+        if key == "rounds" or not isinstance(base, (int, float)):
+            continue
+        measured = results.get(key)
+        if measured is None:
+            failures.append(f"{key}: missing from results")
+        elif measured < base * (1.0 - tolerance):
+            failures.append(
+                f"{key}: {measured:,.0f} < {base * (1 - tolerance):,.0f} "
+                f"(baseline {base:,.0f}, tolerance {tolerance:.0%})")
+    return failures
+
+
+# --------------------------------------------------------------- pytest
+def test_raptor_microbenchmarks_smoke():
+    """One cut-down round of both probes; catches runtime breakage."""
+    stream = bench_overlay_stream(ntasks=500)
+    faulted = bench_overlay_fault_stream(ntasks=500)
+    assert stream > 0 and faulted > 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="raptor overlay microbenchmarks; writes the JSON "
+                    "baseline")
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--out", default=str(BASELINE_PATH), metavar="FILE",
+                        help="baseline path ('-' for stdout only)")
+    parser.add_argument("--check", metavar="BASELINE", default=None,
+                        help="compare against a committed baseline instead "
+                             "of writing one; exit 1 on regression")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional regression in check mode")
+    args = parser.parse_args(argv)
+
+    results = run_benchmarks(rounds=args.rounds)
+    print(f"overlay task stream:        "
+          f"{results['overlay_tasks_per_sec_wall']:>12,.0f} tasks/sec (wall)")
+    print(f"overlay stream w/ crash:    "
+          f"{results['overlay_fault_tasks_per_sec_wall']:>12,.0f} "
+          f"tasks/sec (wall)")
+
+    if args.check is not None:
+        with open(args.check) as fh:
+            baseline = json.load(fh)
+        failures = check_against(results, baseline, args.tolerance)
+        if failures:
+            print("REGRESSION vs baseline:")
+            for line in failures:
+                print(f"  {line}")
+            return 1
+        print(f"ok vs {args.check} (tolerance {args.tolerance:.0%})")
+        return 0
+
+    if args.out != "-":
+        with open(args.out, "w") as fh:
+            json.dump(results, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

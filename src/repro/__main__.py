@@ -9,6 +9,7 @@ Usage::
     python -m repro all [--quick]        # everything above
     python -m repro trace [--out DIR]    # one traced K-Means run
     python -m repro sweep figure6 --jobs 4 --out results.json
+    python -m repro sweep --list         # list the registered grids
     python -m repro lint [--check]       # determinism linter (simlint)
 
 ``--quick`` restricts Figure 6 to the smallest and largest scenarios
@@ -18,9 +19,13 @@ at 8 and 32 tasks (16 cells instead of 36).
 Chrome ``trace_event`` JSON (Perfetto/chrome://tracing), span, event
 and metrics files — see :mod:`repro.telemetry`.
 
-``sweep`` runs a figure's cell grid over a process pool (parallel by
-default, ``--jobs 1`` for the sequential reference path) and writes a
-structured JSON result — see :mod:`repro.experiments.sweeps`.
+``sweep`` runs a cell grid — one of ``figure5``, ``figure6``,
+``ablations``, ``sensitivity``, ``chaos`` (fault injection) or
+``raptor`` (the task-overlay throughput comparison) — over a process
+pool (parallel by default, ``--jobs 1`` for the sequential reference
+path) and writes a structured JSON result; ``sweep --list`` (or plain
+``sweep``) prints the registered grid names — see
+:mod:`repro.experiments.sweeps`.
 
 ``lint`` runs simlint, the determinism linter, over the simulation
 sources (wall-clock calls, unseeded RNG, salted ``hash()``, module
@@ -114,8 +119,20 @@ def _trace(args: argparse.Namespace) -> int:
 
 
 def _sweep(args: argparse.Namespace) -> int:
-    from repro.experiments.sweeps import run_sweep
+    from repro.experiments.sweeps import GRIDS, build_cells, run_sweep
     from repro.experiments.tables import format_table
+    if args.list or args.grid is None:
+        # Discoverability: list every registered grid with its size, so
+        # new grids never need a trip through the source.
+        print("registered sweep grids:")
+        for name in GRIDS:
+            cells = build_cells(name, root_seed=args.seed,
+                                quick=args.quick)
+            print(f"  {name:<12} {len(cells)} cells")
+        if args.grid is None and not args.list:
+            print("\nusage: python -m repro sweep GRID [--jobs N] "
+                  "[--quick] [--out FILE]")
+        return 0
     try:
         run = run_sweep(args.grid, root_seed=args.seed, jobs=args.jobs,
                         quick=args.quick)
@@ -128,6 +145,20 @@ def _sweep(args: argparse.Namespace) -> int:
     print(format_table(
         ["cell", "wall (s)"],
         [(r["key"], r["wall_seconds"]) for r in run.results]))
+    if run.grid == "raptor":
+        # The headline comparison: overlay vs. per-unit tasks/sec.
+        for result in run.results:
+            for row in result["rows"]:
+                if "speedup" in row:
+                    print(f"{row['ntasks']} tasks: overlay "
+                          f"{row['overlay_tasks_per_sec']:.0f} tasks/s "
+                          f"vs per-unit YARN "
+                          f"{row['per_unit_tasks_per_sec']:.2f} tasks/s "
+                          f"-> {row['speedup']:.0f}x")
+                elif "identical" in row:
+                    state = "identical" if row["identical"] else "DIVERGED"
+                    print(f"equivalence ({row['ntasks']} tasks): "
+                          f"overlay and per-unit results {state}")
     if args.out:
         import json
         with open(args.out, "w") as fh:
@@ -159,19 +190,24 @@ def _build_parser() -> argparse.ArgumentParser:
             p.add_argument("--quick", action="store_true",
                            help="figure6: run a reduced 16-cell grid")
 
+    from repro.experiments.sweeps import GRIDS
     sweep = sub.add_parser(
         "sweep",
-        help="run an experiment grid over a process pool")
-    sweep.add_argument("grid",
-                       choices=["figure5", "figure6", "ablations",
-                                "sensitivity", "chaos"])
+        help="run an experiment grid over a process pool "
+             f"({', '.join(GRIDS)})")
+    sweep.add_argument("grid", nargs="?", default=None,
+                       choices=list(GRIDS),
+                       help="grid to run; omit (or --list) to list the "
+                            "registered grids")
+    sweep.add_argument("--list", action="store_true",
+                       help="list the registered sweep grids and exit")
     sweep.add_argument("--jobs", type=int, default=None, metavar="N",
                        help="worker processes (default: all cores; "
                             "1 = sequential reference path)")
     sweep.add_argument("--seed", type=int, default=42,
                        help="root seed; per-cell seeds derive from it")
     sweep.add_argument("--quick", action="store_true",
-                       help="figure6/chaos: run a reduced grid")
+                       help="figure6/chaos/raptor: run a reduced grid")
     sweep.add_argument("--out", default=None, metavar="FILE",
                        help="write the structured JSON result here")
 

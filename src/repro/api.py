@@ -52,6 +52,13 @@ from repro.faults import (
     FaultSpec,
     RestartPolicy,
 )
+from repro.raptor import (
+    RaptorConfig,
+    RaptorOverlay,
+    TaskDescription,
+    TaskFuture,
+    TaskResult,
+)
 from repro.saga.registry import Registry, Site, default_registry
 from repro.sim.engine import Environment, SimulationError
 
@@ -78,12 +85,17 @@ __all__ = [
     "PilotManager",
     "PilotState",
     "PredictiveScheduler",
+    "RaptorConfig",
+    "RaptorOverlay",
     "Registry",
     "RestartPolicy",
     "RoundRobinScheduler",
     "Session",
     "SimulationError",
     "Site",
+    "TaskDescription",
+    "TaskFuture",
+    "TaskResult",
     "UnitManager",
     "UnitState",
     "default_registry",

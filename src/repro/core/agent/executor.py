@@ -42,6 +42,26 @@ class ExecutionError(RuntimeError):
     """A unit's execution failed on the backend."""
 
 
+class ServiceContext:
+    """What a long-lived *service* unit sees of its placement.
+
+    Handed to :attr:`ComputeUnitDescription.service` callables once the
+    backend has paid the normal launch path; the service generator then
+    owns the unit's EXECUTING phase (e.g. a raptor master or worker
+    parked on its node for the run's lifetime).
+    """
+
+    __slots__ = ("env", "node", "cores")
+
+    def __init__(self, env: Environment, node, cores: int):
+        self.env = env
+        self.node = node
+        self.cores = cores
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ServiceContext {self.node.name} x{self.cores}>"
+
+
 def _run_payload(unit_desc: ComputeUnitDescription):
     """Execute the unit's real Python function (eagerly)."""
     if unit_desc.function is None:
@@ -136,6 +156,10 @@ class ForkBackend:
             memory = min(memory, node.memory_bytes)
             yield node.memory.get(memory)
             try:
+                if unit_desc.service is not None:
+                    result = yield from unit_desc.service(ServiceContext(
+                        self.env, node, allocation.total_cores))
+                    return result
                 if unit_desc.input_bytes > 0:
                     if unit_desc.input_tier == "memory":
                         yield node.memory_fs.read(unit_desc.input_bytes)
@@ -234,6 +258,10 @@ class YarnBackend:
                         self.config.task_environment_bytes)
                 if on_start is not None:
                     on_start()
+                if unit_desc.service is not None:
+                    box["result"] = yield from unit_desc.service(
+                        ServiceContext(env, node, unit_desc.cores))
+                    return
                 if unit_desc.input_bytes > 0:
                     tier = (node.memory_fs
                             if unit_desc.input_tier == "memory"
@@ -313,6 +341,10 @@ class SparkBackend:
                     self.config.task_environment_bytes)
             if on_start is not None:
                 on_start()
+            if unit_desc.service is not None:
+                result = yield from unit_desc.service(ServiceContext(
+                    self.env, node, allocation.total_cores))
+                return result
             if unit_desc.input_bytes > 0:
                 tier = (node.memory_fs if unit_desc.input_tier == "memory"
                         else node.local_disk)

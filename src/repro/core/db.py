@@ -36,6 +36,16 @@ class Collection:
 
     def find(self, query: Optional[Dict[str, Any]] = None) -> List[Dict[str, Any]]:
         """All documents matching the (equality-only) query."""
+        if query and "_id" in query:
+            # Primary-key fast path: ``_id`` is the dict key, so an
+            # equality query on it never needs the full scan (the scan
+            # is O(collection) and dominates many-unit runs otherwise).
+            doc = self._docs.get(query["_id"])
+            if doc is None:
+                return []
+            if all(doc.get(k) == v for k, v in query.items()):
+                return [doc]
+            return []
         out = []
         for doc in self._docs.values():
             if all(doc.get(k) == v for k, v in (query or {}).items()):

@@ -167,6 +167,11 @@ class ComputeUnitDescription(Description):
       Figure 6).
     * ``function``/``args`` — an optional real Python callable executed
       eagerly; its return value lands on ``unit.result``.
+    * ``service`` — turns the unit into a long-lived *service*: a
+      callable taking a :class:`~repro.core.agent.executor.ServiceContext`
+      and returning a generator that the backend runs as the unit's
+      whole EXECUTING phase (e.g. a raptor master or worker parking on
+      its node).  Mutually exclusive with ``function``.
     """
 
     executable: str = "/bin/true"
@@ -179,6 +184,9 @@ class ComputeUnitDescription(Description):
     function: Optional[Callable[..., Any]] = None
     args: Tuple[Any, ...] = ()
     kwargs: Dict[str, Any] = field(default_factory=dict)
+    #: long-lived service payload: ``service(ctx)`` must return a
+    #: generator the backend drives for the unit's EXECUTING phase
+    service: Optional[Callable[..., Any]] = None
     #: staging directives: (catalog_path, nbytes) pairs
     input_staging: Tuple[Tuple[str, float], ...] = ()
     output_staging: Tuple[Tuple[str, float], ...] = ()
@@ -200,3 +208,5 @@ class ComputeUnitDescription(Description):
             "unit costs must be non-negative")
         self._require(self.input_tier in ("default", "memory"),
                       f"unknown input tier {self.input_tier!r}")
+        self._require(self.service is None or self.function is None,
+                      "a unit is either a service or a function payload")

@@ -93,6 +93,28 @@ class Session:
             self._faults = FaultPlan(session=self)
         return self._faults
 
+    def raptor(self, pilot, workers: int = 4, cores_per_worker: int = 1,
+               master_cores: int = 1, restart_policy=None, config=None,
+               start: bool = True):
+        """Build a :class:`~repro.raptor.overlay.RaptorOverlay` on
+        ``pilot``: one long-lived master CU plus ``workers`` worker CUs,
+        then stream function tasks to the warm workers — paying the
+        2-step allocation cost once instead of per task.
+
+        ``restart_policy`` (a :class:`~repro.faults.spec.RestartPolicy`)
+        governs worker CU resubmission after node crashes; ``config`` is
+        a :class:`~repro.raptor.task.RaptorConfig`.  ``start=False``
+        returns the handle without submitting the CUs.
+        """
+        from repro.raptor.overlay import RaptorOverlay
+        overlay = RaptorOverlay(
+            self, pilot, workers=workers,
+            cores_per_worker=cores_per_worker, master_cores=master_cores,
+            restart_policy=restart_policy, config=config)
+        if start:
+            overlay.start()
+        return overlay
+
     @property
     def telemetry(self):
         """The environment's telemetry hub (installed on first access)."""

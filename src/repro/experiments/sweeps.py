@@ -29,7 +29,8 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field, is_dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-GRIDS = ("figure5", "figure6", "ablations", "sensitivity", "chaos")
+GRIDS = ("figure5", "figure6", "ablations", "sensitivity", "chaos",
+         "raptor")
 
 
 @dataclass(frozen=True)
@@ -140,20 +141,52 @@ def chaos_cells(root_seed: int = 42,
     return cells
 
 
+def raptor_cells(root_seed: int = 42,
+                 quick: bool = False) -> List[SweepCell]:
+    """The task-overlay grid: throughput curve + equivalence + faults."""
+    from repro.experiments.raptor import QUICK_NTASKS, THROUGHPUT_NTASKS
+    counts = QUICK_NTASKS if quick else THROUGHPUT_NTASKS
+    cells = [
+        _cell("raptor", "throughput", root_seed, machine="stampede",
+              ntasks=ntasks)
+        for ntasks in counts
+    ]
+    cells.append(_cell("raptor", "equivalence", root_seed, ntasks=64))
+    cells.append(_cell("raptor", "faults", root_seed,
+                       ntasks=100 if quick else 400))
+    return cells
+
+
+#: Grid name -> builder(root_seed, quick).  ``GRIDS`` (the public list
+#: the CLI exposes) is asserted against this registry in the tests.
+_GRID_BUILDERS = {
+    "figure5": lambda root_seed, quick: figure5_cells(root_seed),
+    "figure6": figure6_cells,
+    "ablations": lambda root_seed, quick: ablations_cells(root_seed),
+    "sensitivity": lambda root_seed, quick: sensitivity_cells(root_seed),
+    "chaos": chaos_cells,
+    "raptor": raptor_cells,
+}
+
+
 def build_cells(grid: str, root_seed: int = 42,
                 quick: bool = False) -> List[SweepCell]:
-    """The named grid's declarative cell list."""
-    if grid == "figure5":
-        return figure5_cells(root_seed)
-    if grid == "figure6":
-        return figure6_cells(root_seed, quick=quick)
-    if grid == "ablations":
-        return ablations_cells(root_seed)
-    if grid == "sensitivity":
-        return sensitivity_cells(root_seed)
-    if grid == "chaos":
-        return chaos_cells(root_seed, quick=quick)
-    raise ValueError(f"unknown sweep grid {grid!r}; known: {GRIDS}")
+    """The named grid's declarative cell list.
+
+    Guarantees cell-key uniqueness: two cells with the same key would
+    share a seed and silently shadow each other in keyed aggregates.
+    """
+    builder = _GRID_BUILDERS.get(grid)
+    if builder is None:
+        raise ValueError(f"unknown sweep grid {grid!r}; known: {GRIDS}")
+    cells = builder(root_seed, quick)
+    seen: Dict[str, SweepCell] = {}
+    for cell in cells:
+        if cell.key in seen:
+            raise ValueError(
+                f"duplicate sweep cell key {cell.key!r} in grid {grid!r}")
+        seen[cell.key] = cell
+    return cells
 
 
 # ------------------------------------------------------------ cell runners
@@ -250,12 +283,29 @@ def _run_chaos_cell(cell: SweepCell) -> List[Dict[str, Any]]:
     return [_jsonify(row)]
 
 
+def _run_raptor_cell(cell: SweepCell) -> List[Dict[str, Any]]:
+    from repro.experiments import raptor
+    params = dict(cell.params)
+    if cell.kind == "throughput":
+        row = raptor.run_raptor_throughput(
+            params["ntasks"], machine=params["machine"], seed=cell.seed)
+    elif cell.kind == "equivalence":
+        row = raptor.run_raptor_equivalence(
+            params["ntasks"], seed=cell.seed)
+    elif cell.kind == "faults":
+        row = raptor.run_raptor_faults(params["ntasks"], seed=cell.seed)
+    else:
+        raise ValueError(f"unknown raptor cell kind {cell.kind!r}")
+    return [_jsonify(row)]
+
+
 _CELL_RUNNERS = {
     "figure5": _run_figure5_cell,
     "figure6": _run_figure6_cell,
     "ablations": _run_ablations_cell,
     "sensitivity": _run_sensitivity_cell,
     "chaos": _run_chaos_cell,
+    "raptor": _run_raptor_cell,
 }
 
 

@@ -1,0 +1,35 @@
+"""repro.raptor: master/worker task overlay for many-task workloads.
+
+The paper's Fig. 5 inset shows Compute-Unit startup dominated by the
+2-step AM -> container allocation; the pilot literature (arXiv:1512.08194,
+arXiv:1501.05041) answers with a master/worker overlay that pays that
+cost once and then streams function tasks to warm workers.  This package
+is that overlay: one long-lived master CU, N worker CUs, and a task
+protocol over the simulated interconnect.
+
+Entry point: :meth:`repro.core.session.Session.raptor` (via
+``repro.api``), returning a :class:`RaptorOverlay` handle with
+``submit_tasks`` / ``wait`` / ``close``.
+"""
+
+from repro.raptor.master import RaptorMaster
+from repro.raptor.overlay import RaptorOverlay
+from repro.raptor.task import (
+    RaptorConfig,
+    TaskDescription,
+    TaskFuture,
+    TaskResult,
+)
+from repro.raptor.worker import RaptorWorker, WorkerLost, worker_service
+
+__all__ = [
+    "RaptorConfig",
+    "RaptorMaster",
+    "RaptorOverlay",
+    "RaptorWorker",
+    "TaskDescription",
+    "TaskFuture",
+    "TaskResult",
+    "WorkerLost",
+    "worker_service",
+]

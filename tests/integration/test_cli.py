@@ -52,3 +52,41 @@ def test_bad_trace_values_rejected(capsys):
 
 def test_help_exits_zero():
     assert main(["--help"]) == 0
+
+
+def test_sweep_list_prints_registered_grids(capsys):
+    from repro.experiments.sweeps import GRIDS
+    assert main(["sweep", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "registered sweep grids:" in out
+    for name in GRIDS:
+        assert name in out, f"sweep --list omits grid {name!r}"
+    assert "cells" in out
+
+
+def test_bare_sweep_lists_grids_and_usage(capsys):
+    assert main(["sweep"]) == 0
+    out = capsys.readouterr().out
+    assert "registered sweep grids:" in out
+    assert "usage: python -m repro sweep GRID" in out
+
+
+def test_help_and_docstring_list_every_grid(capsys):
+    """The CLI help and module docstring never drift from the grid
+    registry (a previous release shipped help text missing ``chaos``)."""
+    import repro.__main__ as cli
+    from repro.experiments.sweeps import GRIDS
+    assert main(["--help"]) == 0
+    out = capsys.readouterr().out
+    for name in GRIDS:
+        assert name in out, f"--help omits sweep grid {name!r}"
+        assert name in cli.__doc__, \
+            f"module docstring omits sweep grid {name!r}"
+
+
+def test_raptor_sweep_quick_cli(capsys):
+    assert main(["sweep", "raptor", "--quick", "--jobs", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "sweep raptor:" in out
+    assert "per-unit YARN" in out          # the headline speedup lines
+    assert "equivalence" in out and "identical" in out

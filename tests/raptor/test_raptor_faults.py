@@ -1,0 +1,135 @@
+"""Raptor x repro.faults: worker crashes, retries, restart policies."""
+
+import pytest
+
+from repro.api import RaptorConfig, RestartPolicy, TaskDescription
+from tests.core.test_units import active_pilot
+
+
+def overlay_on(stack, workers=8, nodes=3, cores_per_worker=5, **kw):
+    """An overlay whose workers provably span several nodes.
+
+    The test agent packs units first-fit, so 1-core workers would all
+    land next to the master; 5-core workers on 16-core nodes force the
+    fleet across all three nodes (3 + 3 + 2), guaranteeing a worker
+    node that does not host the master.
+    """
+    env, registry, session, pmgr, umgr = stack
+    pilot = active_pilot(env, pmgr, umgr, nodes=nodes)
+    overlay = session.raptor(pilot, workers=workers,
+                             cores_per_worker=cores_per_worker, **kw)
+    env.run(overlay.ready())
+    return env, session, overlay
+
+
+def _victim(overlay):
+    """First worker node (sorted) that does not host the master."""
+    master_node = overlay.master.node.name
+    return sorted({w.node.name for w in overlay.master.workers
+                   if w.node.name != master_node})[0]
+
+
+def test_worker_crash_retries_inflight_tasks(stack):
+    env, session, overlay = overlay_on(stack)
+    t0 = env.now
+    session.faults.node_crash(at=t0 + 0.5, node=_victim(overlay),
+                              duration=1000.0)
+    futures = overlay.submit_tasks(
+        [TaskDescription(cpu_seconds=0.4)] * 60)
+    env.run(overlay.wait(futures))
+    stats = overlay.stats()
+    assert stats["workers_lost"] > 0
+    assert stats["tasks_retried"] > 0
+    assert stats["tasks_completed"] == 60
+    assert all(f.result().ok for f in futures)
+    # retried envelopes record more than one attempt
+    assert max(f.result().attempts for f in futures) > 1
+
+
+def test_restart_policy_brings_replacement_workers(stack):
+    env, session, overlay = overlay_on(
+        stack, restart_policy=RestartPolicy(max_restarts=2, backoff=0.5))
+    before = len(overlay.master.workers)
+    t0 = env.now
+    session.faults.node_crash(at=t0 + 0.5, node=_victim(overlay),
+                              duration=2.0)
+    futures = overlay.submit_tasks(
+        [TaskDescription(cpu_seconds=0.3)] * 80)
+    env.run(overlay.wait(futures))
+    assert all(f.result().ok for f in futures)
+    # give the restarted worker CUs time to finish re-registering
+    env.run(env.timeout(30.0))
+    stats = overlay.stats()
+    lost = stats["workers_lost"]
+    assert lost > 0
+    # replacements re-registered: total registrations exceed the fleet
+    assert stats["workers_registered"] > before
+    # a crashed node retires from the pilot's allocation for good, so
+    # the fleet only recovers up to the surviving capacity — but it
+    # must recover beyond the bare survivors
+    assert before - lost < len(overlay.master.workers) <= before
+
+
+def test_task_retries_exhaust_to_failed_envelope(stack):
+    env, session, overlay = overlay_on(
+        stack, config=RaptorConfig(task_retries=0))
+    master_node = overlay.master.node.name
+    victims = sorted({w.node.name for w in overlay.master.workers
+                      if w.node.name != master_node})
+    assert victims, "no worker node without the master to crash"
+    t0 = env.now
+    for name in victims:
+        session.faults.node_crash(at=t0 + 0.5, node=name,
+                                  duration=1000.0)
+    # saturate the fleet so every worker — victims included — holds
+    # in-flight tasks at crash time; with task_retries=0 one lost
+    # attempt is terminal, while survivors' tasks still complete
+    capacity = sum(w.cores for w in overlay.master.workers)
+    futures = overlay.submit_tasks(
+        [TaskDescription(cpu_seconds=5.0)] * capacity)
+    env.run(overlay.wait(futures))
+    settled = [f.result() for f in futures]
+    failed = [r for r in settled if not r.ok]
+    assert failed and any(r.ok for r in settled)
+    assert all("lost worker" in r.error for r in failed)
+    assert all(r.attempts == 1 for r in failed)
+
+
+def test_master_node_death_fails_overlay(stack):
+    env, session, overlay = overlay_on(stack)
+    t0 = env.now
+    session.faults.node_crash(at=t0 + 0.5,
+                              node=overlay.master.node.name,
+                              duration=1000.0)
+    futures = overlay.submit_tasks(
+        [TaskDescription(cpu_seconds=30.0)] * 10)
+    env.run(env.all_of([f.wait() for f in futures]))
+    assert overlay.master.failed
+    settled = [f.result() for f in futures]
+    assert all(not r.ok for r in settled)
+    assert all("died" in r.error for r in settled)
+    # the master CU itself failed through the normal unit pipeline
+    env.run(env.timeout(60.0))
+    assert overlay.master_unit.state.value == "Failed"
+    with pytest.raises(RuntimeError, match="closed"):
+        overlay.submit_tasks([TaskDescription()])
+
+
+def test_unit_error_fault_composes_with_worker_restart(stack):
+    """A transient unit_error on a worker CU + RestartPolicy: the CU
+    fails, the restarted attempt registers a fresh worker."""
+    env, registry, session, pmgr, umgr = stack
+    pilot = active_pilot(env, pmgr, umgr)
+    overlay = session.raptor(
+        pilot, workers=4,
+        restart_policy=RestartPolicy(max_restarts=2, backoff=0.5),
+        start=False)
+    # poison the first worker CU before it is submitted
+    overlay.start()
+    session.faults.unit_error(overlay.worker_units[0].uid, times=1)
+    env.run(overlay.ready())
+    assert len(overlay.master.workers) == 4
+    futures = overlay.submit_tasks(
+        [TaskDescription(cpu_seconds=0.1)] * 12)
+    env.run(overlay.wait(futures))
+    assert all(f.result().ok for f in futures)
