@@ -1,0 +1,157 @@
+"""Shared driver plumbing for the ``bench_*.py`` microbenchmarks.
+
+Every standalone benchmark repeats the same skeleton: a best-of-rounds
+loop over named probes, a JSON baseline written with stable formatting,
+and a ``--check`` mode that fails CI when a probe regresses past a
+tolerance.  This module centralizes that skeleton so the individual
+files only declare *what* they measure:
+
+* :func:`run_rounds` — best-of-``rounds`` over ``{key: (probe, mode)}``
+  specs, where ``mode`` is ``"max"`` (throughput, higher is better) or
+  ``"min"`` (wall seconds, lower is better).
+* :func:`check_against` — compare results to a committed baseline;
+  every failure line names the offending metric, the measured value,
+  the allowed bound *and the baseline value*, so a red CI run says
+  exactly which probe moved and from where.
+* :func:`write_baseline` — the committed-JSON emitter (sorted keys,
+  2-space indent, trailing newline) shared by every baseline file.
+* :func:`bench_main` — the argparse driver behind every benchmark's
+  ``main()``: ``--rounds``, ``--out``, ``--check``, ``--tolerance``.
+
+Baselines are machine-dependent; they exist to make *relative* movement
+visible from PR to PR on comparable hardware.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Callable, Dict, Iterable, Mapping, Optional, Tuple
+
+#: One probe: a zero-argument callable returning a float, plus the
+#: direction in which bigger numbers are better ("max") or worse
+#: ("min").
+ProbeSpec = Tuple[Callable[[], float], str]
+
+
+def run_rounds(probes: Mapping[str, ProbeSpec], rounds: int) -> dict:
+    """Best-of-``rounds`` for each probe (filters scheduler noise).
+
+    Probes run in declaration order within each round, so interleaving
+    (and therefore cache warmth) matches across rounds.
+    """
+    results: dict = {}
+    for key, (_, mode) in probes.items():
+        if mode not in ("max", "min"):
+            raise ValueError(f"probe {key!r}: mode must be max/min")
+        results[key] = 0.0 if mode == "max" else float("inf")
+    for _ in range(rounds):
+        for key, (probe, mode) in probes.items():
+            value = probe()
+            results[key] = (max if mode == "max" else min)(
+                results[key], value)
+    results["rounds"] = rounds
+    return results
+
+
+def check_against(results: dict, baseline: dict, tolerance: float,
+                  lower_is_better: Iterable[str] = (),
+                  allow_missing: bool = False) -> list:
+    """Baseline metrics regressed by more than ``tolerance``.
+
+    Returns human-readable failure lines, each naming the metric, the
+    measured value, the violated bound and the baseline value.  Keys in
+    ``lower_is_better`` fail on *increases* past the tolerance (wall
+    times); everything else fails on decreases (throughputs).  With
+    ``allow_missing`` baseline keys absent from ``results`` are skipped
+    (for partial runs, e.g. CI running only a benchmark's smallest
+    size); otherwise a missing key is itself a failure.
+    """
+    lower = set(lower_is_better)
+    failures = []
+    for key, base in sorted(baseline.items()):
+        if key == "rounds" or not isinstance(base, (int, float)) \
+                or isinstance(base, bool):
+            continue
+        measured = results.get(key)
+        if measured is None:
+            if not allow_missing:
+                failures.append(
+                    f"{key}: missing from results (baseline {base:,.0f})")
+        elif key in lower:
+            ceiling = base * (1.0 + tolerance)
+            if measured > ceiling:
+                failures.append(
+                    f"{key}: measured {measured:,.2f} > allowed "
+                    f"{ceiling:,.2f} (baseline {base:,.2f}, tolerance "
+                    f"{tolerance:.0%}, lower is better)")
+        else:
+            floor = base * (1.0 - tolerance)
+            if measured < floor:
+                failures.append(
+                    f"{key}: measured {measured:,.0f} < allowed "
+                    f"{floor:,.0f} (baseline {base:,.0f}, tolerance "
+                    f"{tolerance:.0%})")
+    return failures
+
+
+def write_baseline(results: dict, path: str) -> None:
+    """Write the committed-baseline JSON (stable formatting)."""
+    with open(path, "w") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def bench_main(argv, *, description: str, baseline_path,
+               run: Callable[..., dict], report: Callable[[dict], None],
+               lower_is_better: Iterable[str] = (),
+               allow_missing: bool = False,
+               default_rounds: int = 3,
+               extra_args: Optional[Callable] = None,
+               run_kwargs: Optional[Callable[[argparse.Namespace],
+                                             Dict]] = None) -> int:
+    """The shared ``main()``: run, report, then check or write.
+
+    ``run`` receives ``rounds=N`` plus whatever ``run_kwargs(args)``
+    returns (benchmark-specific options registered via
+    ``extra_args(parser)``).  In ``--check`` mode the exit status is 1
+    on any regression and the failure lines name metric and baseline.
+    """
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument("--rounds", type=int, default=default_rounds)
+    parser.add_argument("--out", default=str(baseline_path),
+                        metavar="FILE",
+                        help="baseline path ('-' for stdout only)")
+    parser.add_argument("--check", metavar="BASELINE", default=None,
+                        help="compare against a committed baseline "
+                             "instead of writing one; exit 1 on "
+                             "regression")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional regression in check "
+                             "mode")
+    if extra_args is not None:
+        extra_args(parser)
+    args = parser.parse_args(argv)
+
+    kwargs = run_kwargs(args) if run_kwargs is not None else {}
+    results = run(rounds=args.rounds, **kwargs)
+    report(results)
+
+    if args.check is not None:
+        with open(args.check) as fh:
+            baseline = json.load(fh)
+        failures = check_against(results, baseline, args.tolerance,
+                                 lower_is_better=lower_is_better,
+                                 allow_missing=allow_missing)
+        if failures:
+            print("REGRESSION vs baseline:")
+            for line in failures:
+                print(f"  {line}")
+            return 1
+        print(f"ok vs {args.check} (tolerance {args.tolerance:.0%})")
+        return 0
+
+    if args.out != "-":
+        write_baseline(results, args.out)
+        print(f"wrote {args.out}")
+    return 0

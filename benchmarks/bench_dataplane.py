@@ -34,11 +34,14 @@ movement visible from PR to PR on comparable hardware.
 
 from __future__ import annotations
 
-import argparse
-import json
 import sys
 import time
 from pathlib import Path
+
+try:
+    from benchmarks._harness import bench_main, run_rounds
+except ImportError:  # standalone: python benchmarks/bench_dataplane.py
+    from _harness import bench_main, run_rounds
 
 from repro.cluster import Machine, stampede
 from repro.cluster.storage import GB, KB, MB, SharedBandwidthPipe
@@ -171,40 +174,27 @@ def bench_spark_reduce_by_key(num_records: int = 50_000,
 
 
 # ----------------------------------------------------------------- driver
+PROBES = {
+    **{f"pipe_churn_{n}_per_sec":
+       ((lambda n=n: bench_pipe_churn(n)), "max") for n in CHURN_STREAMS},
+    "mr_shuffle_records_per_sec": (bench_mr_shuffle, "max"),
+    "spark_rbk_records_per_sec": (bench_spark_reduce_by_key, "max"),
+}
+
+
 def run_benchmarks(rounds: int = 3) -> dict:
-    """Best-of-``rounds`` for each probe (best-of filters scheduler
-    noise; all probes are higher-is-better throughputs)."""
-    results: dict = {f"pipe_churn_{n}_per_sec": 0.0 for n in CHURN_STREAMS}
-    results["mr_shuffle_records_per_sec"] = 0.0
-    results["spark_rbk_records_per_sec"] = 0.0
-    for _ in range(rounds):
-        for n in CHURN_STREAMS:
-            key = f"pipe_churn_{n}_per_sec"
-            results[key] = max(results[key], bench_pipe_churn(n))
-        results["mr_shuffle_records_per_sec"] = max(
-            results["mr_shuffle_records_per_sec"], bench_mr_shuffle())
-        results["spark_rbk_records_per_sec"] = max(
-            results["spark_rbk_records_per_sec"],
-            bench_spark_reduce_by_key())
-    results["rounds"] = rounds
-    return results
+    """Best-of-``rounds`` for each probe."""
+    return run_rounds(PROBES, rounds)
 
 
-def check_against(results: dict, baseline: dict,
-                  tolerance: float) -> list:
-    """Probes regressed by more than ``tolerance`` vs the baseline."""
-    failures = []
-    for key, base in baseline.items():
-        if key == "rounds" or not isinstance(base, (int, float)):
-            continue
-        measured = results.get(key)
-        if measured is None:
-            failures.append(f"{key}: missing from results")
-        elif measured < base * (1.0 - tolerance):
-            failures.append(
-                f"{key}: {measured:,.0f} < {base * (1 - tolerance):,.0f} "
-                f"(baseline {base:,.0f}, tolerance {tolerance:.0%})")
-    return failures
+def _report(results: dict) -> None:
+    for n in CHURN_STREAMS:
+        print(f"pipe churn {n:>4} streams:  "
+              f"{results[f'pipe_churn_{n}_per_sec']:>12,.0f} transfers/sec")
+    print(f"MR shuffle wordcount:    "
+          f"{results['mr_shuffle_records_per_sec']:>12,.0f} records/sec")
+    print(f"Spark reduce_by_key:     "
+          f"{results['spark_rbk_records_per_sec']:>12,.0f} records/sec")
 
 
 # --------------------------------------------------------------- pytest
@@ -217,45 +207,12 @@ def test_dataplane_microbenchmarks_smoke():
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        description="data-plane microbenchmarks; writes the JSON baseline")
-    parser.add_argument("--rounds", type=int, default=3)
-    parser.add_argument("--out", default=str(BASELINE_PATH), metavar="FILE",
-                        help="baseline path ('-' for stdout only)")
-    parser.add_argument("--check", metavar="BASELINE", default=None,
-                        help="compare against a committed baseline instead "
-                             "of writing one; exit 1 on regression")
-    parser.add_argument("--tolerance", type=float, default=0.30,
-                        help="allowed fractional regression in check mode")
-    args = parser.parse_args(argv)
-
-    results = run_benchmarks(rounds=args.rounds)
-    for n in CHURN_STREAMS:
-        print(f"pipe churn {n:>4} streams:  "
-              f"{results[f'pipe_churn_{n}_per_sec']:>12,.0f} transfers/sec")
-    print(f"MR shuffle wordcount:    "
-          f"{results['mr_shuffle_records_per_sec']:>12,.0f} records/sec")
-    print(f"Spark reduce_by_key:     "
-          f"{results['spark_rbk_records_per_sec']:>12,.0f} records/sec")
-
-    if args.check is not None:
-        with open(args.check) as fh:
-            baseline = json.load(fh)
-        failures = check_against(results, baseline, args.tolerance)
-        if failures:
-            print("REGRESSION vs baseline:")
-            for line in failures:
-                print(f"  {line}")
-            return 1
-        print(f"ok vs {args.check} (tolerance {args.tolerance:.0%})")
-        return 0
-
-    if args.out != "-":
-        with open(args.out, "w") as fh:
-            json.dump(results, fh, indent=2, sort_keys=True)
-            fh.write("\n")
-        print(f"wrote {args.out}")
-    return 0
+    return bench_main(
+        argv,
+        description="data-plane microbenchmarks; writes the JSON baseline",
+        baseline_path=BASELINE_PATH,
+        run=run_benchmarks,
+        report=_report)
 
 
 if __name__ == "__main__":

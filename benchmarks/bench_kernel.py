@@ -15,6 +15,12 @@ baseline::
 
     PYTHONPATH=src python benchmarks/bench_kernel.py [--rounds N] [--out FILE]
 
+check mode (exits non-zero on a >``--tolerance`` regression against
+the committed baseline)::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py --rounds 1 \
+        --check BENCH_kernel.json --tolerance 0.30
+
 or under pytest (one quick round, sanity asserts only)::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_kernel.py -q
@@ -25,11 +31,14 @@ movement visible from PR to PR on comparable hardware.
 
 from __future__ import annotations
 
-import argparse
-import json
 import sys
 import time
 from pathlib import Path
+
+try:
+    from benchmarks._harness import bench_main, run_rounds
+except ImportError:  # standalone: python benchmarks/bench_kernel.py
+    from _harness import bench_main, run_rounds
 
 from repro.cluster.storage import StorageSpec
 from repro.cluster.node import Node
@@ -87,23 +96,22 @@ def bench_figure5_cell_seconds() -> float:
     return run_cell(cell)["wall_seconds"]
 
 
+PROBES = {
+    "events_per_sec": (bench_events_per_sec, "max"),
+    "alloc_release_per_sec": (bench_alloc_release_per_sec, "max"),
+    "figure5_cell_seconds": (bench_figure5_cell_seconds, "min"),
+}
+
+
 def run_benchmarks(rounds: int = 3) -> dict:
-    """Best-of-``rounds`` for each probe (higher/lower is better as
-    appropriate; best-of filters scheduler noise)."""
-    results = {
-        "events_per_sec": 0.0,
-        "alloc_release_per_sec": 0.0,
-        "figure5_cell_seconds": float("inf"),
-    }
-    for _ in range(rounds):
-        results["events_per_sec"] = max(
-            results["events_per_sec"], bench_events_per_sec())
-        results["alloc_release_per_sec"] = max(
-            results["alloc_release_per_sec"], bench_alloc_release_per_sec())
-        results["figure5_cell_seconds"] = min(
-            results["figure5_cell_seconds"], bench_figure5_cell_seconds())
-    results["rounds"] = rounds
-    return results
+    """Best-of-``rounds`` for each probe."""
+    return run_rounds(PROBES, rounds)
+
+
+def _report(results: dict) -> None:
+    print(f"events/sec:          {results['events_per_sec']:>12,.0f}")
+    print(f"alloc-release/sec:   {results['alloc_release_per_sec']:>12,.0f}")
+    print(f"figure5 cell (s):    {results['figure5_cell_seconds']:>12.4f}")
 
 
 # --------------------------------------------------------------- pytest
@@ -116,23 +124,13 @@ def test_kernel_microbenchmarks_smoke():
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        description="kernel microbenchmarks; writes the JSON baseline")
-    parser.add_argument("--rounds", type=int, default=3)
-    parser.add_argument("--out", default=str(BASELINE_PATH), metavar="FILE",
-                        help="baseline path ('-' for stdout only)")
-    args = parser.parse_args(argv)
-
-    results = run_benchmarks(rounds=args.rounds)
-    print(f"events/sec:          {results['events_per_sec']:>12,.0f}")
-    print(f"alloc-release/sec:   {results['alloc_release_per_sec']:>12,.0f}")
-    print(f"figure5 cell (s):    {results['figure5_cell_seconds']:>12.4f}")
-    if args.out != "-":
-        with open(args.out, "w") as fh:
-            json.dump(results, fh, indent=2, sort_keys=True)
-            fh.write("\n")
-        print(f"wrote {args.out}")
-    return 0
+    return bench_main(
+        argv,
+        description="kernel microbenchmarks; writes the JSON baseline",
+        baseline_path=BASELINE_PATH,
+        run=run_benchmarks,
+        report=_report,
+        lower_is_better=("figure5_cell_seconds",))
 
 
 if __name__ == "__main__":

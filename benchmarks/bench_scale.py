@@ -1,0 +1,274 @@
+"""Weak-scaling benchmarks: leadership-class sizes, committed curve.
+
+The paper's testbeds stop at a handful of nodes; these probes push the
+same simulation stack to leadership-class sizes (Frontera template,
+1k-10k nodes) and a million-task workload, and commit the resulting
+curve as ``BENCH_scale.json`` so scale regressions are visible from PR
+to PR.
+
+Per machine size ``N`` in 1024 / 4096 / 10240 nodes:
+
+* ``sched_spread_alloc_release_per_sec@N`` and
+  ``sched_pack_alloc_release_per_sec@N`` — steady-state FIFO
+  allocate/release churn through a :class:`ContinuousScheduler` held at
+  ~50% core occupancy (the agent hot path of a saturated pilot).  The
+  lazy-heap placement makes this O(log N) per cycle, so the curve
+  should stay *flat* as N grows — that flatness is what the committed
+  baseline pins.
+* ``heartbeat_events_per_sec@N`` — N concurrent periodic processes
+  (one per simulated node, the NM-heartbeat shape) beating through the
+  event loop with slot sleeps: event throughput with an N-deep heap.
+
+Fixed large scenarios (run once per invocation, not best-of):
+
+* ``units_100k_per_sec_wall`` / ``units_100k_wall_seconds`` — 100k
+  Compute-Units through the full per-unit path (UnitManager, DB hop,
+  agent scheduler, executor) on a warm 64-node Frontera pilot.
+* ``raptor_1m_tasks_per_sec_wall`` / ``raptor_1m_wall_seconds`` — one
+  million tasks through a raptor overlay with 2047 workers on a
+  1024-node Frontera pilot: the paper's "many small tasks" regime at
+  leadership scale.
+
+Run standalone to (re)write the committed ``BENCH_scale.json``
+baseline (takes a few minutes; the two large scenarios dominate)::
+
+    PYTHONPATH=src python benchmarks/bench_scale.py [--rounds N] [--out FILE]
+
+CI runs only the smallest size, skipping the large scenarios::
+
+    PYTHONPATH=src python benchmarks/bench_scale.py --rounds 1 \
+        --sizes 1024 --skip-units --check BENCH_scale.json --tolerance 0.30
+
+or under pytest (cut-down sizes, sanity asserts only)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_scale.py -q
+
+Numbers are machine-dependent; the baseline exists to make *relative*
+movement visible from PR to PR on comparable hardware.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from collections import deque
+from pathlib import Path
+
+try:
+    from benchmarks._harness import bench_main, run_rounds
+except ImportError:  # standalone: python benchmarks/bench_scale.py
+    from _harness import bench_main, run_rounds
+
+from repro.cluster.machine import frontera
+from repro.cluster.node import Node
+from repro.core.agent.scheduler import ContinuousScheduler
+from repro.sim.engine import Environment
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_scale.json"
+
+#: Weak-scaling machine sizes (Frontera nodes).
+SIZES = (1024, 4096, 10240)
+
+#: Keys where smaller numbers are better (wall times).
+LOWER_IS_BETTER = ("units_100k_wall_seconds", "raptor_1m_wall_seconds")
+
+
+# ------------------------------------------------------- scheduler churn
+def _scale_nodes(env: Environment, num_nodes: int):
+    spec = frontera(num_nodes=num_nodes)
+    return [Node(env, f"scale-{i:05d}", spec.cores_per_node,
+                 spec.memory_per_node, spec.local_disk,
+                 cpu_speed=spec.cpu_speed)
+            for i in range(num_nodes)]
+
+
+def bench_sched_churn(num_nodes: int, policy: str = "spread",
+                      n_cycles: int = 20_000,
+                      alloc_cores: int = 4) -> float:
+    """Steady-state allocate/release cycles/sec at ~50% occupancy.
+
+    The scheduler is first filled to half the machine's cores with
+    4-core allocations, then measured over ``n_cycles`` FIFO cycles
+    (allocate one, release the oldest) — the regime a saturated pilot
+    agent lives in, where the pre-heap linear scans were O(N) per
+    cycle.
+    """
+    env = Environment()
+    nodes = _scale_nodes(env, num_nodes)
+    scheduler = ContinuousScheduler(env, nodes, policy=policy)
+    fill = num_nodes * nodes[0].num_cores // 2 // alloc_cores
+    held = deque()
+    timing = {}
+
+    def driver():
+        for _ in range(fill):
+            allocation = yield scheduler.allocate(alloc_cores)
+            held.append(allocation)
+        t0 = time.perf_counter()
+        for _ in range(n_cycles):
+            allocation = yield scheduler.allocate(alloc_cores)
+            held.append(allocation)
+            scheduler.release(held.popleft())
+        timing["elapsed"] = time.perf_counter() - t0
+
+    env.process(driver())
+    env.run()
+    return n_cycles / timing["elapsed"]
+
+
+# ------------------------------------------------------- event heartbeat
+def bench_heartbeat_events(num_procs: int,
+                           total_events: int = 400_000) -> float:
+    """Events/sec with ``num_procs`` concurrent periodic processes.
+
+    One slot-sleeping process per simulated node (the NM-heartbeat
+    shape): weak-scales the event-heap depth with the machine size
+    while total event count stays fixed.
+    """
+    beats = max(4, total_events // num_procs)
+
+    env = Environment()
+
+    def heartbeat():
+        for _ in range(beats):
+            yield 1.0
+
+    for _ in range(num_procs):
+        env.process(heartbeat())
+    total = beats * num_procs
+    t0 = time.perf_counter()
+    env.run()
+    return total / (time.perf_counter() - t0)
+
+
+# ------------------------------------------------- per-unit path at 100k
+def bench_units_per_unit(n_units: int = 100_000, num_nodes: int = 72,
+                         pilot_nodes: int = 64):
+    """(units/sec wall, wall seconds) for ``n_units`` Compute-Units
+    through the full per-unit path on a warm Frontera pilot."""
+    from repro.api import ComputeUnitDescription
+    from repro.experiments.calibration import agent_config
+    from repro.experiments.harness import Testbed
+
+    testbed = Testbed("frontera", num_nodes=num_nodes, seed=42)
+    testbed.start_pilot(nodes=pilot_nodes,
+                        agent_config=agent_config("fork"))
+    description = ComputeUnitDescription(
+        executable="/bin/true", cores=1, cpu_seconds=0.05, memory_mb=128)
+    t0 = time.perf_counter()
+    units = testbed.umgr.submit_units([description] * n_units)
+    testbed.env.run(testbed.umgr.wait_units(units))
+    elapsed = time.perf_counter() - t0
+    done = sum(1 for u in units if u.state.value == "Done")
+    assert done == n_units, f"only {done}/{n_units} units Done"
+    return n_units / elapsed, elapsed
+
+
+# ------------------------------------------------- raptor overlay at 1M
+def bench_raptor_scale(n_tasks: int = 1_000_000, num_nodes: int = 1100,
+                       pilot_nodes: int = 1024, workers: int = 2047):
+    """(tasks/sec wall, wall seconds) for ``n_tasks`` through a raptor
+    overlay at leadership scale (defaults: 2047 workers, 1024-node
+    pilot)."""
+    from repro.api import RaptorConfig, TaskDescription
+    from repro.experiments.calibration import agent_config
+    from repro.experiments.harness import Testbed
+
+    testbed = Testbed("frontera", num_nodes=num_nodes, seed=42)
+    pilot, _, _ = testbed.start_pilot(nodes=pilot_nodes,
+                                      agent_config=agent_config("fork"))
+    overlay = testbed.session.raptor(
+        pilot, workers=workers, config=RaptorConfig(retain_results=False))
+    testbed.env.run(overlay.ready())
+    task = TaskDescription(cpu_seconds=0.05)
+    t0 = time.perf_counter()
+    overlay.submit_tasks([task] * n_tasks, futures=False)
+    testbed.env.run(overlay.wait())
+    elapsed = time.perf_counter() - t0
+    stats = overlay.stats()
+    assert stats["tasks_completed"] == n_tasks, stats
+    return n_tasks / elapsed, elapsed
+
+
+# ----------------------------------------------------------------- driver
+def run_benchmarks(rounds: int = 1, sizes=SIZES,
+                   include_units: bool = True) -> dict:
+    """Best-of-``rounds`` per-size probes plus (once) the two fixed
+    large scenarios."""
+    probes = {}
+    for size in sizes:
+        probes[f"sched_spread_alloc_release_per_sec@{size}"] = (
+            (lambda n=size: bench_sched_churn(n, "spread")), "max")
+        probes[f"sched_pack_alloc_release_per_sec@{size}"] = (
+            (lambda n=size: bench_sched_churn(n, "pack")), "max")
+        probes[f"heartbeat_events_per_sec@{size}"] = (
+            (lambda n=size: bench_heartbeat_events(n)), "max")
+    results = run_rounds(probes, rounds)
+    if include_units:
+        per_sec, wall = bench_units_per_unit()
+        results["units_100k_per_sec_wall"] = per_sec
+        results["units_100k_wall_seconds"] = wall
+        per_sec, wall = bench_raptor_scale()
+        results["raptor_1m_tasks_per_sec_wall"] = per_sec
+        results["raptor_1m_wall_seconds"] = wall
+    return results
+
+
+def _report(results: dict) -> None:
+    for key in sorted(k for k in results if "@" in k):
+        print(f"{key:<44} {results[key]:>12,.0f} /sec")
+    for key in ("units_100k_per_sec_wall", "raptor_1m_tasks_per_sec_wall"):
+        if key in results:
+            print(f"{key:<44} {results[key]:>12,.0f} /sec")
+    for key in LOWER_IS_BETTER:
+        if key in results:
+            print(f"{key:<44} {results[key]:>12,.1f} s")
+
+
+# --------------------------------------------------------------- pytest
+def test_scale_benchmarks_smoke():
+    """Cut-down versions of every probe; catches runtime breakage."""
+    sched = bench_sched_churn(128, "spread", n_cycles=2_000)
+    pack = bench_sched_churn(128, "pack", n_cycles=2_000)
+    beats = bench_heartbeat_events(128, total_events=20_000)
+    units_rate, units_wall = bench_units_per_unit(
+        n_units=500, num_nodes=8, pilot_nodes=4)
+    raptor_rate, raptor_wall = bench_raptor_scale(
+        n_tasks=1_000, num_nodes=6, pilot_nodes=4, workers=63)
+    assert sched > 0 and pack > 0 and beats > 0
+    assert units_rate > 0 and units_wall > 0
+    assert raptor_rate > 0 and raptor_wall > 0
+
+
+def _extra_args(parser) -> None:
+    parser.add_argument(
+        "--sizes", default=None, metavar="N[,N...]",
+        help="comma-separated machine sizes (default: all of "
+             f"{','.join(str(s) for s in SIZES)})")
+    parser.add_argument(
+        "--skip-units", action="store_true",
+        help="skip the 100k-unit and 1M-task scenarios (CI smoke)")
+
+
+def _run_kwargs(args) -> dict:
+    sizes = SIZES if args.sizes is None else tuple(
+        int(s) for s in args.sizes.split(","))
+    return {"sizes": sizes, "include_units": not args.skip_units}
+
+
+def main(argv=None) -> int:
+    return bench_main(
+        argv,
+        description="weak-scaling benchmarks; writes the JSON baseline",
+        baseline_path=BASELINE_PATH,
+        run=run_benchmarks,
+        report=_report,
+        lower_is_better=LOWER_IS_BETTER,
+        allow_missing=True,
+        default_rounds=1,
+        extra_args=_extra_args,
+        run_kwargs=_run_kwargs)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

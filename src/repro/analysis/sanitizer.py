@@ -245,6 +245,26 @@ class SimSanitizer:
                           f"{nm.used.memory_mb} MB/{nm.used.vcores} vc "
                           f"of {nm.capacity.memory_mb} MB/"
                           f"{nm.capacity.vcores} vc")
+        # The RM's O(1) live-capacity aggregates vs a full NM rescan:
+        # every alive-flip and reserve/release must have been folded in.
+        live = {name for name, nm in rm.node_managers.items() if nm.alive}
+        if rm._counted != live:
+            self.fail("yarn-rm",
+                      f"live-NM index {sorted(rm._counted)} != alive scan "
+                      f"{sorted(live)}")
+        total_mb = sum(rm.node_managers[n].capacity.memory_mb for n in live)
+        total_vc = sum(rm.node_managers[n].capacity.vcores for n in live)
+        used_mb = sum(rm.node_managers[n].used.memory_mb for n in live)
+        used_vc = sum(rm.node_managers[n].used.vcores for n in live)
+        if (rm._agg_total_mb, rm._agg_total_vc,
+                rm._agg_used_mb, rm._agg_used_vc) != (
+                total_mb, total_vc, used_mb, used_vc):
+            self.fail("yarn-rm",
+                      f"capacity aggregates (total {rm._agg_total_mb} MB/"
+                      f"{rm._agg_total_vc} vc, used {rm._agg_used_mb} MB/"
+                      f"{rm._agg_used_vc} vc) != live-NM scan (total "
+                      f"{total_mb} MB/{total_vc} vc, used {used_mb} MB/"
+                      f"{used_vc} vc)")
         self._passed("yarn-rm")
 
     def check_namenode(self, namenode) -> None:

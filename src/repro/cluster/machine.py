@@ -1,6 +1,7 @@
 """Machine templates: cluster-level hardware descriptions.
 
-Two factory functions reproduce the paper's testbeds:
+Factory functions reproduce the paper's testbeds plus two
+leadership-class machines for the weak-scaling scenarios:
 
 * :func:`stampede` — TACC Stampede: 16 cores / 32 GB per node, slow
   local spindles, Lustre `$SCRATCH`, reference-speed CPUs.
@@ -8,6 +9,10 @@ Two factory functions reproduce the paper's testbeds:
   local flash, a larger Lustre allocation, ~1.6x faster cores, and a
   *dedicated Hadoop environment* (reachable via Mode II, as provided by
   Wrangler's data portal reservation mechanism).
+* :func:`frontera` — TACC Frontera: 56 cores / 192 GB per node, the
+  1k-10k-node weak-scaling workhorse.
+* :func:`summit` — OLCF Summit: 42 cores / 512 GB per node with NVMe
+  burst buffers; defaults to the full 4608-node machine.
 
 All constants are centralized in :class:`MachineSpec` so the experiment
 harness can sweep them (ablations, sensitivity runs).
@@ -63,6 +68,7 @@ class Machine:
             for i in range(spec.num_nodes)
         ]
         self.shared_fs = StorageVolume(env, spec.shared_fs)
+        self._node_index = {node.name: node for node in self.nodes}
         self.network = Interconnect(
             env, backbone_bw=spec.backbone_bw, link_bw=spec.link_bw,
             latency=spec.net_latency)
@@ -79,11 +85,16 @@ class Machine:
         return self.spec.num_nodes * self.spec.cores_per_node
 
     def node_by_name(self, name: str) -> Node:
-        """Look up a node; raises on unknown names."""
-        for node in self.nodes:
-            if node.name == name:
-                return node
-        raise KeyError(f"no node {name!r} on {self.name}")
+        """Look up a node; raises on unknown names.
+
+        O(1): the YARN executor resolves the node of every container it
+        launches, which made the old linear scan quadratic in machine
+        size across a large run.
+        """
+        node = self._node_index.get(name)
+        if node is None:
+            raise KeyError(f"no node {name!r} on {self.name}")
+        return node
 
     def download_seconds(self, nbytes: float) -> float:
         """Time to fetch ``nbytes`` from the outside world (Hadoop tarball)."""
@@ -118,6 +129,62 @@ def stampede(num_nodes: int = 4) -> MachineSpec:
         link_bw=5 * GB,
         net_latency=5e-6,
         download_bw=12 * MB,
+        has_dedicated_hadoop=False,
+    )
+
+
+def frontera(num_nodes: int = 1024) -> MachineSpec:
+    """TACC Frontera template: 56 cores / 192 GB per node.
+
+    The leadership-class successor of Stampede (same center, same
+    Lustre-centric design), used for the weak-scaling scenarios at
+    1k-10k nodes: modest node-local SSDs, a wide scratch filesystem,
+    and CPUs ~1.8x the Stampede reference speed.
+    """
+    return MachineSpec(
+        name="frontera",
+        num_nodes=num_nodes,
+        cores_per_node=56,
+        memory_per_node=192 * GB,
+        cpu_speed=1.8,
+        local_disk=StorageSpec(
+            name="frontera-ssd", aggregate_bw=400 * MB,
+            per_stream_bw=400 * MB, latency=0.0004, capacity=144 * GB),
+        shared_fs=StorageSpec(
+            name="frontera-lustre", aggregate_bw=120 * GB,
+            per_stream_bw=3 * GB, latency=0.015, capacity=50_000 * GB),
+        backbone_bw=200 * GB,
+        link_bw=12 * GB,
+        net_latency=2e-6,
+        download_bw=100 * MB,
+        has_dedicated_hadoop=False,
+    )
+
+
+def summit(num_nodes: int = 4608) -> MachineSpec:
+    """OLCF Summit template: 42 cores / 512 GB per node.
+
+    A leadership-class machine in the style arXiv:2103.00091
+    characterizes pilots on: fat memory, fast node-local NVMe burst
+    buffers, a center-wide GPFS, and ~2.2x-reference CPUs.  The default
+    node count is the full machine.
+    """
+    return MachineSpec(
+        name="summit",
+        num_nodes=num_nodes,
+        cores_per_node=42,
+        memory_per_node=512 * GB,
+        cpu_speed=2.2,
+        local_disk=StorageSpec(
+            name="summit-nvme", aggregate_bw=2100 * MB,
+            per_stream_bw=2100 * MB, latency=0.0001, capacity=1600 * GB),
+        shared_fs=StorageSpec(
+            name="summit-gpfs", aggregate_bw=250 * GB,
+            per_stream_bw=5 * GB, latency=0.010, capacity=250_000 * GB),
+        backbone_bw=400 * GB,
+        link_bw=25 * GB,
+        net_latency=1.5e-6,
+        download_bw=200 * MB,
         has_dedicated_hadoop=False,
     )
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, List, Optional
 
 from repro.cluster.storage import StorageSpec, StorageVolume
 from repro.sim.engine import Environment, Event, SimulationError
@@ -32,37 +32,80 @@ class Node:
         self.num_cores = cores
         self.memory_bytes = float(memory_bytes)
         self.cpu_speed = float(cpu_speed)
-        self.cores = Resource(env, capacity=cores)
-        self.memory = Level(env, capacity=memory_bytes, init=memory_bytes)
-        self.local_disk = StorageVolume(env, local_disk)
-        # In-memory storage tier (Tachyon/Alluxio-style): RAM-speed
-        # reads/writes, capacity capped at a quarter of node memory.
-        # Iterative workloads cache working sets here (paper §V).
-        self.memory_fs = StorageVolume(env, StorageSpec(
-            name=f"{name}-memfs",
-            aggregate_bw=4 * 1024 ** 3,
-            per_stream_bw=2 * 1024 ** 3,
-            latency=1e-5,
-            capacity=memory_bytes * 0.25))
+        # The per-node sub-objects (core Resource, memory Level, disk
+        # and memfs StorageVolumes) are built lazily on first access:
+        # their constructors are passive (no events, no env mutation),
+        # so laziness is observationally identical — and a 10k-node
+        # machine no longer pays ~40k object constructions up front
+        # when most nodes only ever serve core-count arithmetic.
+        self._local_disk_spec = local_disk
+        self._cores: Optional[Resource] = None
+        self._memory: Optional[Level] = None
+        self._local_disk: Optional[StorageVolume] = None
+        self._memory_fs: Optional[StorageVolume] = None
         self.alive = True
         #: Failure timestamp of the most recent :meth:`fail` (MTTR base).
         self.failed_at: Optional[float] = None
         self._base_cpu_speed = self.cpu_speed
         self._failure: Optional[Event] = None
+        #: Synchronous liveness observers (see :meth:`watch_liveness`);
+        #: lets capacity ledgers track alive-flips incrementally instead
+        #: of rescanning every node.
+        self._liveness_watchers: List[Callable[["Node"], None]] = []
+
+    @property
+    def cores(self) -> Resource:
+        """Counted core slots (lazily built)."""
+        if self._cores is None:
+            self._cores = Resource(self.env, capacity=self.num_cores)
+        return self._cores
+
+    @property
+    def memory(self) -> Level:
+        """Memory level drained by running tasks (lazily built)."""
+        if self._memory is None:
+            self._memory = Level(self.env, capacity=self.memory_bytes,
+                                 init=self.memory_bytes)
+        return self._memory
+
+    @property
+    def local_disk(self) -> StorageVolume:
+        """Private node-local storage volume (lazily built)."""
+        if self._local_disk is None:
+            self._local_disk = StorageVolume(self.env,
+                                             self._local_disk_spec)
+        return self._local_disk
+
+    @property
+    def memory_fs(self) -> StorageVolume:
+        """In-memory storage tier (Tachyon/Alluxio-style): RAM-speed
+        reads/writes, capacity capped at a quarter of node memory.
+        Iterative workloads cache working sets here (paper §V).
+        Lazily built."""
+        if self._memory_fs is None:
+            self._memory_fs = StorageVolume(self.env, StorageSpec(
+                name=f"{self.name}-memfs",
+                aggregate_bw=4 * 1024 ** 3,
+                per_stream_bw=2 * 1024 ** 3,
+                latency=1e-5,
+                capacity=self.memory_bytes * 0.25))
+        return self._memory_fs
 
     @property
     def cores_in_use(self) -> int:
         """Cores currently held by tasks."""
-        return self.cores.count
+        cores = self._cores
+        return cores.count if cores is not None else 0
 
     @property
     def cores_free(self) -> int:
-        return self.num_cores - self.cores.count
+        return self.num_cores - self.cores_in_use
 
     @property
     def memory_free(self) -> float:
         """Unreserved memory in bytes."""
-        return self.memory.level
+        memory = self._memory
+        return memory.level if memory is not None else self.memory_bytes
 
     def compute_seconds(self, abstract_work: float) -> float:
         """Convert machine-neutral work units into node-local seconds.
@@ -83,10 +126,19 @@ class Node:
         self.failed_at = self.env.now
         if self._failure is not None and not self._failure.triggered:
             self._failure.succeed(self)
+        for watcher in self._liveness_watchers:
+            watcher(self)
 
     def recover(self) -> None:
         self.alive = True
         self._failure = None
+        for watcher in self._liveness_watchers:
+            watcher(self)
+
+    def watch_liveness(self, callback: Callable[["Node"], None]) -> None:
+        """Call ``callback(node)`` synchronously after every
+        :meth:`fail` / :meth:`recover` alive-flip."""
+        self._liveness_watchers.append(callback)
 
     def failure_event(self) -> Event:
         """An event that fires when this node dies.

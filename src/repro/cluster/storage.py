@@ -68,7 +68,7 @@ class SharedBandwidthPipe:
     def __init__(self, env: Environment, aggregate_bw: float,
                  per_stream_bw: Optional[float] = None,
                  latency: float = 0.0, name: str = "pipe",
-                 debug: bool = False):
+                 debug: bool = False, lazy_wakes: bool = False):
         if aggregate_bw <= 0:
             raise SimulationError("aggregate bandwidth must be positive")
         if per_stream_bw is not None and per_stream_bw <= 0:
@@ -87,6 +87,14 @@ class SharedBandwidthPipe:
         self._next_id = 0
         self._last_update = env.now
         self._wake_generation = 0
+        #: Lazy-wake mode: keep a pending wake alive across state
+        #: changes instead of abandoning it, trading bit-exact replay
+        #: of the historical completion timestamps (same math, different
+        #: floating-point evaluation points) for an event queue free of
+        #: stale wake timeouts under churn.  See README "Performance".
+        self.lazy_wakes = bool(lazy_wakes)
+        self._wake_serial = 0      # id of the latest *scheduled* wake
+        self._wake_due = float("inf")  # fire time of the pending wake
         if debug:
             warnings.warn(
                 "SharedBandwidthPipe(debug=True) is deprecated; install "
@@ -258,6 +266,10 @@ class SharedBandwidthPipe:
             self._virtual = 0.0
             self._shadow.clear()
             self._shadow_synced = True
+            self._wake_due = float("inf")
+            return
+        if self.lazy_wakes:
+            self._reschedule_lazy()
             return
         generation = self._wake_generation
         rate = self.current_rate()
@@ -289,6 +301,60 @@ class SharedBandwidthPipe:
 
         timeout.callbacks.append(_on_wake)
 
+    def _reschedule_lazy(self) -> None:
+        """Lazy-wake scheduling: reuse the pending wake when possible.
+
+        The exact path abandons its pending wake on *every* state change
+        (the generation guard), so under churn the event queue fills
+        with stale timeouts — the measured pipe-churn falloff at 1k+
+        streams.  Here a state change keeps the pending wake if it fires
+        no later than the new earliest projected completion: an early
+        wake settles, completes nothing, and reschedules itself at the
+        then-correct time.  The fair-share *math* is unchanged (the
+        sanitizer's shadow ledger still passes); only the floating-point
+        evaluation points of completion timestamps move, which is why
+        this mode is opt-in rather than the default (bit-exact replay of
+        committed traces pins the exact path).
+        """
+        rate = self.current_rate()
+        min_remaining = self._heap[0][0] - self._virtual
+        delay = max(0.0, min_remaining / rate)
+        due = self.env.now + delay
+        if due >= self._wake_due:
+            return  # the pending wake fires first and will resettle
+        generation = self._wake_generation
+        self._wake_serial += 1
+        serial = self._wake_serial
+        self._wake_due = due
+        threshold = self._virtual + min_remaining * (1 + 1e-12)
+        timeout = self.env.timeout(delay)
+
+        def _on_wake(_event):
+            if serial != self._wake_serial:
+                return  # superseded by an earlier wake
+            self._wake_due = float("inf")
+            self._settle()
+            if generation == self._wake_generation:
+                # No state change since scheduling: the heap minimum is
+                # exactly done at this instant; complete it by fiat as
+                # the exact path does.
+                floor = threshold
+                settled = self._virtual + 1e-9
+                if settled > floor:
+                    floor = settled
+            else:
+                # State changed under the wake: only complete what the
+                # settled virtual clock has actually caught up to.
+                floor = self._virtual + 1e-9
+            heap = self._heap
+            while heap and heap[0][0] <= floor:
+                _, tid, event = _heappop(heap)
+                self._shadow.pop(tid, None)
+                event.succeed()
+            self._reschedule()
+
+        timeout.callbacks.append(_on_wake)
+
 
 class StorageVolume:
     """A storage tier: bandwidth pipe + capacity ledger.
@@ -300,12 +366,12 @@ class StorageVolume:
     """
 
     def __init__(self, env: Environment, spec: StorageSpec,
-                 debug: bool = False):
+                 debug: bool = False, lazy_wakes: bool = False):
         self.env = env
         self.spec = spec
         self.pipe = SharedBandwidthPipe(
             env, spec.aggregate_bw, spec.per_stream_bw, spec.latency,
-            name=spec.name, debug=debug)
+            name=spec.name, debug=debug, lazy_wakes=lazy_wakes)
         self.used = 0.0
         self.read_bytes = 0.0
         self.write_bytes = 0.0

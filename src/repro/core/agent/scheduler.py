@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import warnings
 from collections import deque
+from heapq import heapify, heappop, heappush, heapreplace
 from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.analysis.sanitizer import SimSanitizer
@@ -103,6 +104,33 @@ class ContinuousScheduler:
         self._free_version = 0
         self._order_version = -1
         self._order: List[Node] = self.nodes
+        # Lazy free-core index (the scale fix): construction-order node
+        # array + per-index free counts mirroring ``_free``, plus a lazy
+        # heap per policy.  Entries are validated against the current
+        # free count on pop, so no entry is ever removed eagerly:
+        #   spread — (-free, idx): valid top == node with the most free
+        #     cores, earliest construction index on ties (exactly the
+        #     first-max linear scan it replaces);
+        #   pack — idx for nodes with free > 0: valid top == earliest
+        #     node with capacity (exactly the in-order walk it replaces).
+        # Retired nodes get a -1 sentinel no live entry can match.
+        self._all_nodes: List[Node] = self.nodes[:]
+        self._index: Dict[str, int] = {
+            n.name: i for i, n in enumerate(self._all_nodes)}
+        self._free_arr: List[int] = [n.num_cores for n in self._all_nodes]
+        self._is_spread = policy == "spread"
+        if self._is_spread:
+            self._spread_heap: List[Tuple[int, int]] = [
+                (-f, i) for i, f in enumerate(self._free_arr)]
+            heapify(self._spread_heap)
+            self._pack_heap: List[int] = []
+        else:
+            self._spread_heap = []
+            self._pack_heap = list(range(len(self._all_nodes)))
+        # Gauge handles cached per telemetry hub: _report runs on every
+        # drain, and the registry lookup (sorted label key + dict get)
+        # dominates the actual sample append at scale.
+        self._report_gauges: Optional[tuple] = None
 
     @property
     def total_cores(self) -> int:
@@ -129,16 +157,44 @@ class ContinuousScheduler:
     def release(self, allocation: SlotAllocation) -> None:
         free = self._free
         retired = self._retired
+        free_arr = self._free_arr
+        index = self._index
+        is_spread = self._is_spread
         returned = 0
         for node, cores in allocation.assignments:
-            if retired and node.name in retired:
+            name = node.name
+            if retired and name in retired:
                 # The node died while this unit held it; its cores left
                 # the capacity pool with it.
                 continue
-            free[node.name] += cores
+            idx = index[name]
+            old = free_arr[idx]
+            new = old + cores
+            free_arr[idx] = new
+            free[name] = new
+            if is_spread:
+                heappush(self._spread_heap, (-new, idx))
+            elif old == 0:
+                heappush(self._pack_heap, idx)
             returned += cores
         self._free_cores += returned
         self._free_version += 1
+        # Compact the lazy heaps once stale entries dominate: every
+        # release pushes a fresh entry while its stale predecessor only
+        # leaves when popped, so a long allocate/release stream would
+        # otherwise grow the heap (and its log factor) without bound.
+        # Rebuilding from the free array keeps exactly the valid
+        # entries, so placement is unchanged; the 4x threshold makes
+        # the O(nodes) rebuild amortized O(1) per release.
+        if is_spread:
+            if len(self._spread_heap) > max(64, 4 * len(free_arr)):
+                self._spread_heap = [
+                    (-f, i) for i, f in enumerate(free_arr) if f > 0]
+                heapify(self._spread_heap)
+        elif len(self._pack_heap) > max(64, 4 * len(free_arr)):
+            self._pack_heap = [
+                i for i, f in enumerate(free_arr) if f > 0]
+            # Already index-sorted, hence a valid min-heap.
         self._drain()
 
     def deactivate_node(self, node: Node) -> None:
@@ -155,6 +211,8 @@ class ContinuousScheduler:
         if name in self._retired:
             return
         self._retired.add(name)
+        # Sentinel: stale heap entries for the node can never validate.
+        self._free_arr[self._index[name]] = -1
         self.nodes = [n for n in self.nodes if n.name != name]
         if not self.nodes:
             # Whole allocation gone: fail everything still queued.
@@ -183,14 +241,21 @@ class ContinuousScheduler:
         tel = self.env.telemetry
         if tel is None:
             return
+        gauges = self._report_gauges
+        if gauges is None or gauges[0] is not tel:
+            gauges = (tel,
+                      tel.gauge("agent.scheduler.queue_depth",
+                                backend="continuous"),
+                      tel.gauge("agent.executor.busy_cores",
+                                backend="continuous"),
+                      tel.gauge("agent.executor.occupancy",
+                                backend="continuous"))
+            self._report_gauges = gauges
         total = self._total_cores
         busy = total - self._free_cores
-        tel.gauge("agent.scheduler.queue_depth",
-                  backend="continuous").set(self._waiting)
-        tel.gauge("agent.executor.busy_cores",
-                  backend="continuous").set(busy)
-        tel.gauge("agent.executor.occupancy", backend="continuous").set(
-            busy / total if total else 0.0)
+        gauges[1].set(self._waiting)
+        gauges[2].set(busy)
+        gauges[3].set(busy / total if total else 0.0)
 
     def _drain(self) -> None:
         # FIFO, no overtaking: a blocked head blocks the queue (matches
@@ -235,38 +300,78 @@ class ContinuousScheduler:
 
     def _carve(self, cores: int) -> SlotAllocation:
         free_map = self._free
-        if self.policy == "spread":
+        free_arr = self._free_arr
+        index = self._index
+        if self._is_spread:
             # Fast path: the request fits on the single most-free node
-            # (first such node in construction order — identical to the
-            # head of the stable descending sort).  Dominant case for
-            # the paper's 1-core tasks; no sort, no order list.
-            best = None
-            best_free = 0
-            for node in self.nodes:
-                f = free_map[node.name]
-                if f > best_free:
-                    best, best_free = node, f
-            if best_free >= cores:
-                free_map[best.name] = best_free - cores
-                self._free_cores -= cores
-                self._free_version += 1
-                return SlotAllocation([(best, cores)])
-            order = self._spread_order()
-        else:
-            order = self.nodes
-        assignments: List[Tuple[Node, int]] = []
+            # (earliest such node in construction order — identical to
+            # the head of the stable descending sort).  The lazy heap
+            # makes this O(log nodes) amortized: stale entries are
+            # discarded on peek, and every free-count change pushed a
+            # fresh one, so the first valid top *is* the first max the
+            # old linear rescan found.
+            heap = self._spread_heap
+            while heap:
+                negf, idx = heap[0]
+                if free_arr[idx] == -negf:
+                    if -negf < cores:
+                        break
+                    node = self._all_nodes[idx]
+                    new = -negf - cores
+                    free_arr[idx] = new
+                    free_map[node.name] = new
+                    heapreplace(heap, (-new, idx))
+                    self._free_cores -= cores
+                    self._free_version += 1
+                    return SlotAllocation([(node, cores)])
+                heappop(heap)
+            # Multi-node request: rare, keeps the stable descending sort.
+            assignments: List[Tuple[Node, int]] = []
+            remaining = cores
+            for node in self._spread_order():
+                free = free_map[node.name]
+                if free <= 0:
+                    continue
+                take = free if free < remaining else remaining
+                new = free - take
+                idx = index[node.name]
+                free_map[node.name] = new
+                free_arr[idx] = new
+                heappush(heap, (-new, idx))
+                assignments.append((node, take))
+                remaining -= take
+                if remaining == 0:
+                    break
+            assert remaining == 0, "free_cores accounting broken"
+            self._free_cores -= cores
+            self._free_version += 1
+            return SlotAllocation(assignments)
+        # Pack: fill the earliest nodes with capacity.  The lazy min-
+        # index heap replaces the front-to-back walk (O(nodes) per carve
+        # once early nodes fill up) with the same fill order: the valid
+        # top is always the first node in construction order with
+        # free > 0.  Nodes are popped exactly when drained to zero;
+        # release pushes them back on the 0 -> positive transition.
+        heap = self._pack_heap
+        all_nodes = self._all_nodes
+        assignments = []
         remaining = cores
-        for node in order:
-            free = free_map[node.name]
+        while remaining:
+            assert heap, "free_cores accounting broken"
+            idx = heap[0]
+            free = free_arr[idx]
             if free <= 0:
+                heappop(heap)
                 continue
+            node = all_nodes[idx]
             take = free if free < remaining else remaining
-            free_map[node.name] = free - take
+            new = free - take
+            free_arr[idx] = new
+            free_map[node.name] = new
+            if new == 0:
+                heappop(heap)
             assignments.append((node, take))
             remaining -= take
-            if remaining == 0:
-                break
-        assert remaining == 0, "free_cores accounting broken"
         self._free_cores -= cores
         self._free_version += 1
         return SlotAllocation(assignments)
@@ -290,6 +395,7 @@ class YarnAgentScheduler:
         self._reserved_cores = 0
         self._queue: Deque[Tuple[int, int, Event]] = deque()
         self._waiting = 0
+        self._report_gauges: Optional[tuple] = None
 
     def cluster_state(self) -> Dict[str, float]:
         """The RM metrics snapshot the scheduler works from."""
@@ -350,12 +456,20 @@ class YarnAgentScheduler:
         tel = self.env.telemetry
         if tel is None:
             return
-        tel.gauge("agent.scheduler.queue_depth", backend="yarn").set(
-            self._waiting)
-        tel.gauge("agent.executor.busy_cores", backend="yarn").set(
-            self._reserved_cores)
+        gauges = self._report_gauges
+        if gauges is None or gauges[0] is not tel:
+            gauges = (tel,
+                      tel.gauge("agent.scheduler.queue_depth",
+                                backend="yarn"),
+                      tel.gauge("agent.executor.busy_cores",
+                                backend="yarn"),
+                      tel.gauge("agent.executor.occupancy",
+                                backend="yarn"),
+                      tel.gauge("agent.executor.reserved_mb",
+                                backend="yarn"))
+            self._report_gauges = gauges
+        gauges[1].set(self._waiting)
+        gauges[2].set(self._reserved_cores)
         total = metrics["totalVirtualCores"]
-        tel.gauge("agent.executor.occupancy", backend="yarn").set(
-            self._reserved_cores / total if total else 0.0)
-        tel.gauge("agent.executor.reserved_mb", backend="yarn").set(
-            self._reserved_mb)
+        gauges[3].set(self._reserved_cores / total if total else 0.0)
+        gauges[4].set(self._reserved_mb)

@@ -11,13 +11,22 @@ round-trip latency per operation batch.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.sim.engine import Environment, Event
 
+_MISSING = object()  # "no index built yet" (None means unindexable)
+
 
 class Collection:
-    """One named collection of documents."""
+    """One named collection of documents.
+
+    Equality queries on non-``_id`` keys are served from lazily built
+    secondary indexes (one per queried key set), kept current by
+    ``insert``/``update_one``.  Matches come back sorted by insertion
+    sequence — the same order the full scan produces — so indexed and
+    scanned reads are interchangeable byte-for-byte.
+    """
 
     def __init__(self, env: Environment, name: str):
         self.env = env
@@ -25,12 +34,27 @@ class Collection:
         self._docs: Dict[str, Dict[str, Any]] = {}
         self._id_seq = itertools.count(1)
         self._watchers: List[Event] = []
+        self._seq: Dict[str, int] = {}
+        self._seq_counter = itertools.count()
+        # key-tuple -> value-tuple -> {_id: doc}; None marks a key set
+        # with unhashable values (always scanned).
+        self._indexes: Dict[Tuple[str, ...],
+                            Optional[Dict[Tuple, Dict[str, Dict]]]] = {}
 
     def insert(self, doc: Dict[str, Any]) -> str:
         """Insert a document, assigning ``_id`` if missing."""
         doc = dict(doc)
         doc.setdefault("_id", f"{self.name}.{next(self._id_seq)}")
         self._docs[doc["_id"]] = doc
+        self._seq[doc["_id"]] = next(self._seq_counter)
+        for keys, buckets in self._indexes.items():
+            if buckets is None:
+                continue
+            try:
+                value = tuple(doc.get(k) for k in keys)
+                buckets.setdefault(value, {})[doc["_id"]] = doc
+            except TypeError:
+                self._indexes[keys] = None
         self._notify()
         return doc["_id"]
 
@@ -46,11 +70,41 @@ class Collection:
             if all(doc.get(k) == v for k, v in query.items()):
                 return [doc]
             return []
+        if query:
+            keys = tuple(sorted(query))
+            buckets = self._indexes.get(keys, _MISSING)
+            if buckets is _MISSING:
+                buckets = self._build_index(keys)
+            if buckets is not None:
+                try:
+                    value = tuple(query[k] for k in keys)
+                    bucket = buckets.get(value)
+                except TypeError:
+                    bucket = None  # unhashable query value: scan below
+                else:
+                    if bucket is None:
+                        return []
+                    seq = self._seq
+                    return sorted(bucket.values(),
+                                  key=lambda d: seq[d["_id"]])
         out = []
         for doc in self._docs.values():
             if all(doc.get(k) == v for k, v in (query or {}).items()):
                 out.append(doc)
         return out
+
+    def _build_index(self, keys: Tuple[str, ...]):
+        """Index every document by its values at ``keys`` (or mark the
+        key set unindexable if any value is unhashable)."""
+        buckets: Dict[Tuple, Dict[str, Dict]] = {}
+        try:
+            for doc in self._docs.values():
+                value = tuple(doc.get(k) for k in keys)
+                buckets.setdefault(value, {})[doc["_id"]] = doc
+        except TypeError:
+            buckets = None
+        self._indexes[keys] = buckets
+        return buckets
 
     def find_one(self, query: Optional[Dict[str, Any]] = None) -> Optional[Dict[str, Any]]:
         matches = self.find(query)
@@ -62,6 +116,20 @@ class Collection:
         doc = self.find_one(query)
         if doc is None:
             return False
+        for keys, buckets in self._indexes.items():
+            if buckets is None or not any(k in changes for k in keys):
+                continue
+            try:
+                old = tuple(doc.get(k) for k in keys)
+                new = tuple(changes.get(k, doc.get(k)) for k in keys)
+                if new != old:
+                    bucket = buckets[old]
+                    del bucket[doc["_id"]]
+                    if not bucket:
+                        del buckets[old]
+                    buckets.setdefault(new, {})[doc["_id"]] = doc
+            except TypeError:
+                self._indexes[keys] = None
         doc.update(changes)
         self._notify()
         return True

@@ -282,6 +282,11 @@ class UnitManager:
     def _sync(self) -> None:
         col = self.session.db.collection("units")
         for uid, unit in self.units.items():
+            if uid in self._observed:
+                # Already settled and routed: the single-writer protocol
+                # never extends a final document's history, so replaying
+                # it again is a no-op — skip the lookup entirely.
+                continue
             doc = col.find_one({"_id": uid})
             if doc is None:
                 continue

@@ -117,6 +117,11 @@ CALIBRATED_KMEANS_COST = KMeansCost(
 LUSTRE_JOB_BW = {
     "stampede": (30e6, 30e6, 0.040),    # aggregate, per-stream, latency
     "wrangler": (100e6, 50e6, 0.015),
+    # Leadership-class shares (weak-scaling scenarios, not calibrated
+    # against the paper): a single job sees a wider slice of the
+    # center-wide filesystem than on the 2016 testbeds.
+    "frontera": (3e9, 1e9, 0.015),
+    "summit": (5e9, 2e9, 0.010),
 }
 
 

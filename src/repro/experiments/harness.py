@@ -5,7 +5,13 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Optional, Tuple
 
-from repro.cluster.machine import MachineSpec, stampede, wrangler
+from repro.cluster.machine import (
+    MachineSpec,
+    frontera,
+    stampede,
+    summit,
+    wrangler,
+)
 from repro.cluster.storage import StorageSpec
 from repro.api import (
     ComputePilotDescription,
@@ -20,7 +26,8 @@ from repro.hadoop_deploy import provision_dedicated_hadoop
 from repro.saga import Registry, Site
 from repro.sim import Environment
 
-MACHINE_TEMPLATES = {"stampede": stampede, "wrangler": wrangler}
+MACHINE_TEMPLATES = {"stampede": stampede, "wrangler": wrangler,
+                     "frontera": frontera, "summit": summit}
 
 
 def experiment_machine(name: str, num_nodes: int) -> MachineSpec:

@@ -40,6 +40,15 @@ class RaptorWorker:
         self.running: Set[int] = set()
         self.tasks_served = 0
         self.lost = False
+        #: Registration sequence number assigned by the master; orders
+        #: the dispatch free-list identically to the registration scan.
+        self.reg_index = -1
+        #: True once the master dropped this worker (lost or retired);
+        #: stale free-list entries for it are discarded lazily.
+        self.detached = False
+        #: True while an entry for this worker sits in the master's
+        #: free-worker heap (prevents duplicate entries).
+        self.queued = False
         self._shutdown = Event(env)
 
     @property

@@ -36,6 +36,14 @@ class NodeManager:
         self.running = False
         #: When :meth:`fail` hit (MTTR base for the RM's loss handling).
         self.failed_at: Optional[float] = None
+        #: The owning ResourceManager, once registered; the NM reports
+        #: liveness flips and capacity deltas so the RM's cluster-wide
+        #: tallies stay O(1) instead of rescanning every NM.
+        self._rm = None
+
+    def _attach_rm(self, rm) -> None:
+        self._rm = rm
+        self.node.watch_liveness(lambda _node: rm._nm_liveness_changed(self))
 
     @property
     def name(self) -> str:
@@ -53,6 +61,8 @@ class NodeManager:
         """Daemon startup.  Generator."""
         yield self.env.timeout(self.config.nm_startup_seconds)
         self.running = True
+        if self._rm is not None:
+            self._rm._nm_liveness_changed(self)
 
     def stop(self) -> None:
         for container in list(self.containers.values()):
@@ -60,6 +70,8 @@ class NodeManager:
                 self.kill_container(container.container_id,
                                     ContainerState.KILLED, "NM shutdown")
         self.running = False
+        if self._rm is not None:
+            self._rm._nm_liveness_changed(self)
 
     # ----------------------------------------------------------- capacity
     def can_fit(self, resource: YarnResource) -> bool:
@@ -73,11 +85,18 @@ class NodeManager:
                 f"does not fit in {self.available}")
         self.used = self.used.plus(container.resource)
         self.containers[container.container_id] = container
+        if self._rm is not None:
+            self._rm._nm_used_changed(self, container.resource.memory_mb,
+                                      container.resource.vcores)
 
     def _release(self, container: Container) -> None:
         if container.container_id in self.containers:
             self.used = self.used.minus(container.resource)
             del self.containers[container.container_id]
+            if self._rm is not None:
+                self._rm._nm_used_changed(
+                    self, -container.resource.memory_mb,
+                    -container.resource.vcores)
 
     # ------------------------------------------------------------- launch
     def start_container(self, container: Container,
@@ -194,6 +213,8 @@ class NodeManager:
                                 ContainerState.KILLED, "NM lost")
         self.running = False
         self.failed_at = self.env.now
+        if self._rm is not None:
+            self._rm._nm_liveness_changed(self)
 
     def __repr__(self) -> str:  # pragma: no cover
         return (f"<NodeManager {self.name} used={self.used.memory_mb}MB/"

@@ -1,0 +1,144 @@
+"""Lazy-wake pipe mode: same fair-share math as the exact path.
+
+``SharedBandwidthPipe(lazy_wakes=True)`` keeps its pending wake alive
+across state changes instead of abandoning it, so the event queue stays
+free of stale wake timeouts under churn.  The mode trades bit-exact
+replay of the exact path's completion timestamps for that headroom —
+the math is identical, only floating-point evaluation points move — so
+these tests pin agreement to tight relative tolerances rather than
+equality, plus sanitizer cleanliness and work conservation.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.sanitizer import SimSanitizer
+from repro.cluster.storage import SharedBandwidthPipe, StorageSpec, StorageVolume
+from repro.sim import Environment
+
+
+def _run_schedule(lazy, arrivals, bw=100.0, per_stream=None, latency=0.0):
+    """Run a (start_delay, nbytes) schedule; return completion times."""
+    env = Environment()
+    pipe = SharedBandwidthPipe(env, aggregate_bw=bw,
+                               per_stream_bw=per_stream, latency=latency,
+                               lazy_wakes=lazy)
+    finish = {}
+
+    def xfer(i, delay, size):
+        yield env.timeout(delay)
+        yield pipe.transfer(size)
+        finish[i] = env.now
+
+    procs = [env.process(xfer(i, d, s))
+             for i, (d, s) in enumerate(arrivals)]
+    env.run(env.all_of(procs))
+    return [finish[i] for i in range(len(arrivals))]
+
+
+@given(arrivals=st.lists(
+    st.tuples(st.floats(min_value=0.0, max_value=5.0),
+              st.integers(min_value=1, max_value=400)),
+    min_size=1, max_size=14))
+@settings(max_examples=50, deadline=None)
+def test_lazy_matches_exact_on_staggered_arrivals(arrivals):
+    exact = _run_schedule(False, arrivals)
+    lazy = _run_schedule(True, arrivals)
+    for a, b in zip(exact, lazy):
+        assert b == pytest.approx(a, rel=1e-9, abs=1e-9)
+
+
+def test_lazy_matches_exact_with_caps_and_latency():
+    rng = random.Random(11)
+    arrivals = [(rng.uniform(0, 2.0), rng.randrange(1, 1000))
+                for _ in range(60)]
+    exact = _run_schedule(False, arrivals, bw=250.0, per_stream=40.0,
+                          latency=0.01)
+    lazy = _run_schedule(True, arrivals, bw=250.0, per_stream=40.0,
+                         latency=0.01)
+    for a, b in zip(exact, lazy):
+        assert b == pytest.approx(a, rel=1e-9, abs=1e-9)
+
+
+def test_lazy_work_conservation():
+    # All transfers start at t=0: the pipe is never idle while work
+    # remains, so the makespan is total/bw regardless of wake strategy.
+    sizes = [7, 300, 41, 500, 2, 133]
+    env = Environment()
+    pipe = SharedBandwidthPipe(env, aggregate_bw=100.0, lazy_wakes=True)
+    finish = {}
+
+    def xfer(i, size):
+        yield pipe.transfer(size)
+        finish[i] = env.now
+
+    procs = [env.process(xfer(i, s)) for i, s in enumerate(sizes)]
+    env.run(env.all_of(procs))
+    assert max(finish.values()) == pytest.approx(sum(sizes) / 100.0,
+                                                 rel=1e-6)
+
+
+def test_lazy_mode_sanitizer_clean():
+    env = Environment()
+    SimSanitizer.install(env)
+    pipe = SharedBandwidthPipe(env, aggregate_bw=100.0, lazy_wakes=True)
+    rng = random.Random(5)
+
+    def worker():
+        for _ in range(20):
+            yield pipe.transfer(rng.randrange(1, 500))
+
+    procs = [env.process(worker()) for _ in range(8)]
+    env.run(env.all_of(procs))
+    env.sanitizer.assert_drained()
+    assert pipe.active_streams == 0
+
+
+def test_lazy_set_bandwidth_midflight_matches_exact():
+    def run(lazy):
+        env = Environment()
+        pipe = SharedBandwidthPipe(env, aggregate_bw=100.0,
+                                   lazy_wakes=lazy)
+        finish = {}
+
+        def xfer(i, size):
+            yield pipe.transfer(size)
+            finish[i] = env.now
+
+        def squeeze():
+            yield env.timeout(1.0)
+            pipe.set_bandwidth(25.0)
+            yield env.timeout(4.0)
+            pipe.set_bandwidth(400.0)
+
+        procs = [env.process(xfer(i, s))
+                 for i, s in enumerate((200, 500, 900))]
+        env.process(squeeze())
+        env.run(env.all_of(procs))
+        return [finish[i] for i in range(3)]
+
+    exact, lazy = run(False), run(True)
+    for a, b in zip(exact, lazy):
+        assert b == pytest.approx(a, rel=1e-9, abs=1e-9)
+
+
+def test_storage_volume_forwards_lazy_wakes():
+    env = Environment()
+    vol = StorageVolume(env, StorageSpec(name="t", aggregate_bw=100.0),
+                        lazy_wakes=True)
+    assert vol.pipe.lazy_wakes
+
+    def reader():
+        yield vol.read(250)
+        return env.now
+
+    assert env.run(env.process(reader())) == pytest.approx(2.5)
+
+
+def test_exact_mode_default_untouched():
+    env = Environment()
+    pipe = SharedBandwidthPipe(env, aggregate_bw=100.0)
+    assert not pipe.lazy_wakes

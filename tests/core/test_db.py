@@ -1,0 +1,93 @@
+"""The MongoDB stand-in's indexed query path.
+
+Equality queries on non-``_id`` keys are served from lazily built
+secondary indexes.  These tests pin the contract that makes that safe:
+indexed results are byte-identical (same docs, same order) to the full
+scan they replace, through inserts, updates that move documents
+between buckets, and unhashable values (which fall back to scanning).
+"""
+
+import random
+
+from repro.core.db import Database
+from repro.sim import Environment
+
+
+def make_collection():
+    env = Environment()
+    return Database(env).collection("units")
+
+
+def scan(col, query):
+    """The pre-index reference semantics: a verbatim linear scan."""
+    return [doc for doc in col._docs.values()
+            if all(doc.get(k) == v for k, v in query.items())]
+
+
+def test_indexed_find_matches_scan_order():
+    col = make_collection()
+    for i in range(50):
+        col.insert({"_id": f"u{i}", "pilot": f"p{i % 3}",
+                    "state": "NEW"})
+    query = {"pilot": "p1", "state": "NEW"}
+    assert col.find(query) == scan(col, query)
+    # Index now exists; later inserts must land in it.
+    col.insert({"_id": "u50", "pilot": "p1", "state": "NEW"})
+    assert col.find(query) == scan(col, query)
+    assert [d["_id"] for d in col.find(query)][-1] == "u50"
+
+
+def test_update_moves_docs_between_buckets():
+    col = make_collection()
+    for i in range(10):
+        col.insert({"_id": f"u{i}", "pilot": "p0", "state": "NEW"})
+    assert len(col.find({"state": "NEW"})) == 10
+    col.update_one({"_id": "u3"}, {"state": "DONE"})
+    col.update_one({"_id": "u7"}, {"state": "DONE", "exit_code": 0})
+    assert [d["_id"] for d in col.find({"state": "NEW"})] == [
+        f"u{i}" for i in range(10) if i not in (3, 7)]
+    assert [d["_id"] for d in col.find({"state": "DONE"})] == ["u3", "u7"]
+    # Move one back: it re-enters the NEW bucket in scan position.
+    col.update_one({"_id": "u3"}, {"state": "NEW"})
+    assert col.find({"state": "NEW"}) == scan(col, {"state": "NEW"})
+
+
+def test_randomized_churn_differential():
+    col = make_collection()
+    rng = random.Random(11)
+    states = ["NEW", "SCHED", "RUN", "DONE"]
+    for i in range(200):
+        col.insert({"_id": f"u{i}", "pilot": f"p{rng.randrange(4)}",
+                    "state": rng.choice(states)})
+    for _ in range(500):
+        if rng.random() < 0.5:
+            col.update_one({"_id": f"u{rng.randrange(200)}"},
+                           {"state": rng.choice(states)})
+        else:
+            query = {"state": rng.choice(states)}
+            if rng.random() < 0.5:
+                query["pilot"] = f"p{rng.randrange(4)}"
+            assert col.find(query) == scan(col, query)
+    for state in states:
+        assert col.find({"state": state}) == scan(col, {"state": state})
+
+
+def test_unhashable_values_fall_back_to_scan():
+    col = make_collection()
+    col.insert({"_id": "a", "tags": ["x"], "state": "NEW"})
+    col.insert({"_id": "b", "tags": ["x"], "state": "NEW"})
+    # Unhashable doc values poison that index; results still correct.
+    assert col.find({"tags": ["x"]}) == scan(col, {"tags": ["x"]})
+    col.update_one({"_id": "a"}, {"tags": ["y"]})
+    assert col.find({"tags": ["y"]}) == [col.find_one({"_id": "a"})]
+    # Hashable keys stay indexed alongside.
+    assert col.find({"state": "NEW"}) == scan(col, {"state": "NEW"})
+
+
+def test_no_match_and_missing_key_queries():
+    col = make_collection()
+    col.insert({"_id": "a", "state": "NEW"})
+    assert col.find({"state": "GONE"}) == []
+    assert col.find({"nope": 1}) == []
+    # Docs lacking the key match a None query value, as the scan did.
+    assert col.find({"nope": None}) == scan(col, {"nope": None})

@@ -1,0 +1,183 @@
+"""Scale-regime tests for the agent scheduler's heap-based placement.
+
+The lazy-heap placement core (spread/pack) must reproduce the
+documented semantics *exactly* at leadership-class machine sizes:
+
+* spread — the node with the most free cores, first-constructed wins
+  ties; multi-node requests greedily span the descending-free order;
+* pack — nodes fill front-to-back in construction order, requests
+  spanning across partially-free nodes.
+
+These tests pin placements on a 1k-node Frontera template against a
+brute-force reference model (the pre-heap linear-scan semantics), and
+assert the sanitizer's conservation checks stay clean through churn
+and node retirement.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.sanitizer import SimSanitizer
+from repro.cluster import Machine
+from repro.cluster.machine import frontera
+from repro.core.agent.scheduler import ContinuousScheduler
+from repro.sim import Environment
+
+NODES = 1024
+CORES = 56  # frontera cores/node
+
+
+def make_scheduler(policy, num_nodes=NODES):
+    env = Environment()
+    machine = Machine(env, frontera(num_nodes=num_nodes))
+    return env, machine, ContinuousScheduler(env, machine.nodes,
+                                             policy=policy)
+
+
+def grab(env, scheduler, cores):
+    """Synchronously satisfiable allocate (capacity is never exceeded
+    in these tests, so the event resolves within the drain)."""
+    holder = {}
+
+    def take():
+        holder["alloc"] = yield scheduler.allocate(cores)
+
+    env.run(env.process(take()))
+    return holder["alloc"]
+
+
+# ---------------------------------------------------------------- reference
+class ReferenceScheduler:
+    """The pre-heap linear-scan placement semantics, verbatim."""
+
+    def __init__(self, names, cores_per_node, policy):
+        self.order = list(names)          # construction order
+        self.free = {n: cores_per_node for n in names}
+        self.retired = set()
+        self.policy = policy
+
+    def place(self, cores):
+        live = [n for n in self.order if n not in self.retired]
+        if self.policy == "spread":
+            best = max(live, key=lambda n: self.free[n])
+            if self.free[best] >= cores:
+                self.free[best] -= cores
+                return [(best, cores)]
+            scan = sorted(live, key=lambda n: -self.free[n])
+        else:
+            scan = live
+        taken, remaining = [], cores
+        for name in scan:
+            if remaining == 0:
+                break
+            if self.free[name] <= 0:
+                continue
+            take = min(self.free[name], remaining)
+            self.free[name] -= take
+            remaining -= take
+            taken.append((name, take))
+        assert remaining == 0, "reference ran out of capacity"
+        return taken
+
+    def release(self, assignments):
+        for name, cores in assignments:
+            if name not in self.retired:
+                self.free[name] += cores
+
+    def deactivate(self, name):
+        self.retired.add(name)
+        self.free[name] = 0
+
+
+# ----------------------------------------------------------- pinned shapes
+def test_spread_pins_first_max_in_construction_order():
+    env, machine, scheduler = make_scheduler("spread")
+    # All nodes tie at 56 free: spread walks construction order.
+    names = [grab(env, scheduler, 4).primary_node.name for _ in range(6)]
+    assert names == [f"frontera-n{i:04d}" for i in range(6)]
+    # Released cores make n0000 the unique max again.
+    alloc7 = grab(env, scheduler, 4)
+    assert alloc7.primary_node.name == "frontera-n0006"
+
+
+def test_pack_fills_front_to_back_and_spans():
+    env, machine, scheduler = make_scheduler("pack")
+    first = [grab(env, scheduler, 28).primary_node.name for _ in range(4)]
+    assert first == ["frontera-n0000", "frontera-n0000",
+                     "frontera-n0001", "frontera-n0001"]
+    # 100-core request spans nodes 2 and 3 (56 + 44).
+    wide = grab(env, scheduler, 100)
+    assert [(n.name, c) for n, c in wide.assignments] == [
+        ("frontera-n0002", 56), ("frontera-n0003", 44)]
+
+
+def test_spread_multi_node_spans_descending_free():
+    env, machine, scheduler = make_scheduler("spread", num_nodes=4)
+    grab(env, scheduler, 8)    # n0: 48 free
+    grab(env, scheduler, 4)    # n1: 52 free
+    # 200 cores > any node: greedy span over free-descending order
+    # (n2/n3 at 56, then n1 at 52, then n0 for the remainder).
+    wide = grab(env, scheduler, 200)
+    assert [(n.name, c) for n, c in wide.assignments] == [
+        ("frontera-n0002", 56), ("frontera-n0003", 56),
+        ("frontera-n0001", 52), ("frontera-n0000", 36)]
+
+
+# ----------------------------------------------------- differential churn
+@pytest.mark.parametrize("policy", ["spread", "pack"])
+@pytest.mark.parametrize("seed", [1, 7])
+def test_churn_matches_reference_model(policy, seed):
+    """Randomized allocate/release/retire churn on 1k nodes places
+    identically to the brute-force reference scan."""
+    env, machine, scheduler = make_scheduler(policy)
+    reference = ReferenceScheduler(
+        [n.name for n in machine.nodes], CORES, policy)
+    rng = random.Random(seed)
+    held = []          # (allocation, reference assignments)
+    in_flight = 0
+    for step in range(1500):
+        action = rng.random()
+        if action < 0.06 and held:
+            allocation, ref_assignments = held.pop(
+                rng.randrange(len(held)))
+            scheduler.release(allocation)
+            reference.release(ref_assignments)
+            in_flight -= sum(c for _, c in ref_assignments)
+        elif action < 0.08 and len(reference.retired) < 32:
+            victim = rng.choice([n for n in scheduler.nodes])
+            scheduler.deactivate_node(victim)
+            reference.deactivate(victim.name)
+        elif in_flight < 20_000:
+            cores = rng.choice((1, 2, 4, 8, 28, 56, 120))
+            allocation = grab(env, scheduler, cores)
+            got = [(n.name, c) for n, c in allocation.assignments]
+            assert got == reference.place(cores), f"step {step}"
+            held.append((allocation, got))
+            in_flight += cores
+        else:  # drain pressure: release the oldest
+            allocation, ref_assignments = held.pop(0)
+            scheduler.release(allocation)
+            reference.release(ref_assignments)
+            in_flight -= sum(c for _, c in ref_assignments)
+    # Conservation: the incremental ledgers agree with a full rescan.
+    sanitizer = SimSanitizer(env)
+    sanitizer.check_scheduler(scheduler)
+    live_free = sum(reference.free[n.name] for n in scheduler.nodes)
+    assert scheduler.free_cores == live_free
+
+
+def test_sanitizer_clean_after_retirement_churn():
+    """Accounting stays sanitizer-clean on a 1k-node template when
+    nodes retire while their cores are held."""
+    env, machine, scheduler = make_scheduler("spread")
+    allocations = [grab(env, scheduler, 8) for _ in range(200)]
+    # Retire 16 nodes, some of which hold live allocations.
+    for node in list(scheduler.nodes[:16]):
+        scheduler.deactivate_node(node)
+    for allocation in allocations:
+        scheduler.release(allocation)
+    sanitizer = SimSanitizer(env)
+    sanitizer.check_scheduler(scheduler)
+    assert scheduler.free_cores == scheduler.total_cores
+    assert scheduler.total_cores == (NODES - 16) * CORES

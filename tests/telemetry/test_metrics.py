@@ -104,3 +104,38 @@ def test_histogram_validation(registry):
         registry.histogram("bad2", window_seconds=0)
     with pytest.raises(ValueError):
         registry.histogram("ok", bounds=(1.0,)).quantile(1.5)
+
+
+def test_counter_sample_resolution_batches_increments(env):
+    registry = MetricsRegistry(env, sample_resolution=1.0)
+    c = registry.counter("batched")
+    _at(env, 0.1, lambda: c.inc(1))
+    _at(env, 0.5, lambda: c.inc(2))   # merges into the 0.1 sample
+    _at(env, 2.0, lambda: c.inc(4))   # new window
+    assert c.total == 7
+    assert c.samples == [(0.1, 3.0), (2.0, 4.0)]
+    rows = list(c.rows())
+    assert rows[-1]["total"] == 7
+
+
+def test_gauge_sample_resolution_coalesces(env):
+    registry = MetricsRegistry(env, sample_resolution=1.0)
+    g = registry.gauge("batched")
+    _at(env, 0.1, lambda: g.set(5))
+    _at(env, 0.6, lambda: g.set(9))   # same window: last write wins
+    _at(env, 3.0, lambda: g.set(2))
+    assert g.samples == [(0.6, 9.0), (3.0, 2.0)]
+    assert g.value == 2.0
+
+
+def test_sample_resolution_none_keeps_every_sample(env):
+    registry = MetricsRegistry(env)
+    c = registry.counter("exact")
+    _at(env, 0.1, lambda: c.inc(1))
+    _at(env, 0.2, lambda: c.inc(1))
+    assert len(c.samples) == 2
+
+
+def test_sample_resolution_validation(env):
+    with pytest.raises(ValueError):
+        MetricsRegistry(env, sample_resolution=0)
