@@ -33,6 +33,32 @@ from typing import Callable, Dict, Iterable, Mapping, Optional, Tuple
 #: ("min").
 ProbeSpec = Tuple[Callable[[], float], str]
 
+#: The named latency percentiles baselines carry (p50/p95/p99).
+PERCENTILES = (50, 95, 99)
+
+
+def percentile_keys(prefix: str,
+                    percentiles: Iterable[float] = PERCENTILES
+                    ) -> Tuple[str, ...]:
+    """Baseline key names for ``prefix`` (``prefix_p50`` ...) — feed
+    these to ``check_against(..., lower_is_better=...)``."""
+    return tuple(f"{prefix}_p{p:g}" for p in percentiles)
+
+
+def percentile_results(prefix: str, histogram,
+                       percentiles: Iterable[float] = PERCENTILES
+                       ) -> Dict[str, float]:
+    """``{prefix}_p50``/... keys from a telemetry histogram.
+
+    ``histogram`` is a :class:`repro.telemetry.metrics.Histogram` (or
+    anything with its ``percentiles``) — empty histograms emit 0.0 so
+    the baseline stays fully populated.
+    """
+    out = {}
+    for p, value in histogram.percentiles(tuple(percentiles)).items():
+        out[f"{prefix}_p{p:g}"] = 0.0 if value is None else float(value)
+    return out
+
 
 def run_rounds(probes: Mapping[str, ProbeSpec], rounds: int) -> dict:
     """Best-of-``rounds`` for each probe (filters scheduler noise).

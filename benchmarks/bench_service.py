@@ -1,0 +1,155 @@
+"""Multi-tenant service benchmarks: 10k+ concurrent sessions, one process.
+
+Two wall-clock probes over :mod:`repro.service`:
+
+* ``service_sessions_per_sec_wall`` — host wall-clock rate of driving
+  the full bench scenario (64 tenants x 160 sessions = 10,240 sessions,
+  two raptor tasks each) through ONE :class:`PilotService` instance to
+  quiescence.  The probe asserts the service really held >= 10,000
+  concurrently-open sessions and settled every ticket.
+* ``service_sharded_sessions_per_sec_wall`` — the same scenario split
+  shared-nothing over 2 shards on a 2-worker process pool
+  (:func:`repro.service.run_sharded`).
+
+Alongside the wall numbers the baseline carries the *deterministic*
+submit/completion latency percentiles (simulated seconds, from the
+service's own telemetry histograms): they never jitter with host load,
+so in ``--check`` mode they pin the service's latency SLOs exactly.
+
+Run standalone to (re)write the committed ``BENCH_service.json``
+baseline::
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--rounds N] [--out FILE]
+
+check mode (used by CI; exits non-zero on a >``--tolerance`` regression
+against the committed baseline)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --rounds 1 \
+        --check BENCH_service.json --tolerance 0.30
+
+or under pytest (one cut-down round, sanity asserts only)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_service.py -q
+
+Numbers are machine-dependent; the baseline exists to make *relative*
+movement visible from PR to PR on comparable hardware.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+try:
+    from benchmarks._harness import (
+        bench_main,
+        percentile_keys,
+        run_rounds,
+    )
+except ImportError:  # standalone: python benchmarks/bench_service.py
+    from _harness import bench_main, percentile_keys, run_rounds
+
+from repro.service import LoadSpec, run_load, run_sharded
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+#: The headline scenario: 10,240 sessions against one service process.
+#: task_seconds (simulated) far exceeds the arrival window, so every
+#: session is still open when the last one arrives — "concurrent" is
+#: load-bearing, not nominal.
+BENCH_SPEC = LoadSpec(tenants=64, sessions_per_tenant=160,
+                      tasks_per_session=2, arrival_window=2.0,
+                      task_seconds=5.0, raptor_workers=31)
+
+#: Deterministic sim-side latency rows carried next to the wall probes
+#: (captured from the most recent single-instance probe run).
+_last_row: dict = {}
+
+
+def bench_service_sessions(spec: LoadSpec = BENCH_SPEC,
+                           min_concurrent: int = 10_000) -> float:
+    """Wall-clock sessions/sec of one service instance to quiescence."""
+    t0 = time.perf_counter()
+    row = run_load(spec)
+    elapsed = time.perf_counter() - t0
+    assert row["peak_concurrent_sessions"] >= min_concurrent, row
+    assert row["tickets_failed"] == 0, row
+    assert row["tickets_completed"] == row["tickets_submitted"], row
+    assert row["sessions_closed"] == row["sessions_opened"], row
+    _last_row.update(row)
+    return row["sessions_opened"] / elapsed
+
+
+def bench_service_sharded(spec: LoadSpec = BENCH_SPEC,
+                          shards: int = 2) -> float:
+    """Wall-clock sessions/sec of the same load split over a pool."""
+    t0 = time.perf_counter()
+    sharded = run_sharded(spec, shards=shards, jobs=shards)
+    elapsed = time.perf_counter() - t0
+    totals = sharded.aggregate()["totals"]
+    assert totals["tickets_failed"] == 0, totals
+    assert totals["sessions_closed"] == totals["sessions_opened"], totals
+    return totals["sessions_opened"] / elapsed
+
+
+# ----------------------------------------------------------------- driver
+PROBES = {
+    "service_sessions_per_sec_wall": (bench_service_sessions, "max"),
+    "service_sharded_sessions_per_sec_wall": (bench_service_sharded,
+                                              "max"),
+}
+
+#: Simulated-latency keys checked with an upper bound in --check mode.
+LATENCY_KEYS = percentile_keys("submit") + percentile_keys("completion")
+
+
+def run_benchmarks(rounds: int = 3) -> dict:
+    """Best-of-``rounds`` wall probes + deterministic latency rows."""
+    results = run_rounds(PROBES, rounds)
+    results["concurrent_sessions"] = _last_row["peak_concurrent_sessions"]
+    for key in LATENCY_KEYS:
+        results[key] = _last_row[key]
+    return results
+
+
+def _report(results: dict) -> None:
+    print(f"one-instance session churn: "
+          f"{results['service_sessions_per_sec_wall']:>10,.0f} "
+          f"sessions/sec (wall), "
+          f"{results['concurrent_sessions']:,} concurrent")
+    print(f"2-shard process pool:       "
+          f"{results['service_sharded_sessions_per_sec_wall']:>10,.0f} "
+          f"sessions/sec (wall)")
+    for prefix, label in (("submit", "submit latency (sim)"),
+                          ("completion", "completion latency (sim)")):
+        p50, p95, p99 = (results[k] for k in percentile_keys(prefix))
+        print(f"{label:<27} p50 {p50:>8.2f}s  p95 {p95:>8.2f}s  "
+              f"p99 {p99:>8.2f}s")
+
+
+# --------------------------------------------------------------- pytest
+def test_service_microbenchmarks_smoke():
+    """One cut-down round of both probes; catches runtime breakage."""
+    small = LoadSpec(tenants=8, sessions_per_tenant=16,
+                     raptor_workers=8)
+    churn = bench_service_sessions(small, min_concurrent=128)
+    sharded = bench_service_sharded(small, shards=2)
+    assert churn > 0 and sharded > 0
+    for key in LATENCY_KEYS:
+        assert _last_row[key] >= 0.0
+
+
+def main(argv=None) -> int:
+    return bench_main(
+        argv,
+        description="multi-tenant service benchmarks; writes the JSON "
+                    "baseline",
+        baseline_path=BASELINE_PATH,
+        run=run_benchmarks,
+        report=_report,
+        lower_is_better=LATENCY_KEYS)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,8 +20,9 @@ Chrome ``trace_event`` JSON (Perfetto/chrome://tracing), span, event
 and metrics files — see :mod:`repro.telemetry`.
 
 ``sweep`` runs a cell grid — one of ``figure5``, ``figure6``,
-``ablations``, ``sensitivity``, ``chaos`` (fault injection) or
-``raptor`` (the task-overlay throughput comparison) — over a process
+``ablations``, ``sensitivity``, ``chaos`` (fault injection),
+``raptor`` (the task-overlay throughput comparison) or ``service``
+(the multi-tenant pilot service) — over a process
 pool (parallel by default, ``--jobs 1`` for the sequential reference
 path) and writes a structured JSON result; ``sweep --list`` (or plain
 ``sweep``) prints the registered grid names — see
@@ -207,7 +208,8 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seed", type=int, default=42,
                        help="root seed; per-cell seeds derive from it")
     sweep.add_argument("--quick", action="store_true",
-                       help="figure6/chaos/raptor: run a reduced grid")
+                       help="figure6/chaos/raptor/service: run a "
+                            "reduced grid")
     sweep.add_argument("--out", default=None, metavar="FILE",
                        help="write the structured JSON result here")
 

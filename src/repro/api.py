@@ -59,7 +59,15 @@ from repro.raptor import (
     TaskFuture,
     TaskResult,
 )
+from repro.core.states import ServiceState
 from repro.saga.registry import Registry, Site, default_registry
+from repro.service import (
+    PilotService,
+    ServiceConfig,
+    ServiceSession,
+    TenantQuota,
+    Ticket,
+)
 from repro.sim.engine import Environment, SimulationError
 
 __all__ = [
@@ -83,6 +91,7 @@ __all__ = [
     "PilotData",
     "PilotDataDescription",
     "PilotManager",
+    "PilotService",
     "PilotState",
     "PredictiveScheduler",
     "RaptorConfig",
@@ -90,12 +99,17 @@ __all__ = [
     "Registry",
     "RestartPolicy",
     "RoundRobinScheduler",
+    "ServiceConfig",
+    "ServiceSession",
+    "ServiceState",
     "Session",
     "SimulationError",
     "Site",
     "TaskDescription",
     "TaskFuture",
     "TaskResult",
+    "TenantQuota",
+    "Ticket",
     "UnitManager",
     "UnitState",
     "default_registry",

@@ -11,6 +11,7 @@ from repro.core.session import Session
 from repro.core.states import PilotState
 from repro.saga.job import Description as SagaDescription
 from repro.saga.job import Service
+from repro.sim.engine import Event
 
 
 class PilotManager:
@@ -34,6 +35,8 @@ class PilotManager:
         self._services: Dict[str, Service] = {}
         self._watcher = self.env.process(self._watch_loop(),
                                          name=f"{self.uid}-watch")
+        self._hb_wake: Optional[Event] = None
+        self._hb_epoch = self.env.now
         self._hb_monitor = self.env.process(
             self._heartbeat_monitor(), name=f"{self.uid}-hb")
 
@@ -122,10 +125,30 @@ class PilotManager:
         main-loop pass; a hung or partitioned agent (as opposed to one
         that exited — the batch-job safety net covers that) is detected
         here and its pilot declared FAILED.
+
+        Event-driven: with no ACTIVE pilot the monitor parks on a wake
+        event (fired by :meth:`_sync` when a pilot goes ACTIVE) instead
+        of ticking forever — at high session counts the idle ticks used
+        to dominate the event heap, and an idle manager no longer keeps
+        the simulation alive.  While pilots are ACTIVE the checks run at
+        the same phase-aligned instants (``epoch + k*interval``) the
+        fixed-interval loop used, so detection times — and therefore
+        sweep digests — are unchanged.
         """
         col = self.session.db.collection("pilots")
+        interval = self.heartbeat_check_interval
         while True:
-            yield self.env.timeout(self.heartbeat_check_interval)
+            while not any(p.state is PilotState.ACTIVE
+                          for p in self.pilots.values()):
+                self._hb_wake = Event(self.env)
+                yield self._hb_wake
+            # Resume ticking on the original grid: the next multiple of
+            # ``interval`` strictly after now (an exact-multiple resume
+            # would re-check an instant the old loop already covered
+            # with a fresh, never-stale heartbeat — a no-op either way).
+            k = int((self.env.now - self._hb_epoch) // interval) + 1
+            yield self.env.timeout(self._hb_epoch + k * interval
+                                   - self.env.now)
             for uid, pilot in self.pilots.items():
                 if pilot.state is not PilotState.ACTIVE:
                     continue
@@ -162,5 +185,13 @@ class PilotManager:
                 continue
             for _, state_value in doc["history"][len(pilot.history):]:
                 pilot.advance(PilotState(state_value))
+                if pilot.state is PilotState.ACTIVE:
+                    self._wake_heartbeat_monitor()
             if doc.get("agent_info") and not pilot.agent_info:
                 pilot.agent_info = doc["agent_info"]
+
+    def _wake_heartbeat_monitor(self) -> None:
+        """Un-park the heartbeat monitor (a pilot just went ACTIVE)."""
+        wake, self._hb_wake = self._hb_wake, None
+        if wake is not None and not wake.triggered:
+            wake.succeed()

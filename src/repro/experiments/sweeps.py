@@ -30,7 +30,7 @@ from dataclasses import asdict, dataclass, field, is_dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 GRIDS = ("figure5", "figure6", "ablations", "sensitivity", "chaos",
-         "raptor")
+         "raptor", "service")
 
 
 @dataclass(frozen=True)
@@ -157,6 +157,23 @@ def raptor_cells(root_seed: int = 42,
     return cells
 
 
+def service_cells(root_seed: int = 42,
+                  quick: bool = False) -> List[SweepCell]:
+    """The multi-tenant service grid: load, fairness, admission,
+    sharding."""
+    cells = [
+        _cell("service", "load", root_seed, tenants=4,
+              sessions_per_tenant=8),
+        _cell("service", "fairshare", root_seed, heavy_weight=4),
+        _cell("service", "admission", root_seed, max_pending=8),
+        _cell("service", "sharded", root_seed, shards=2, tenants=6),
+    ]
+    if not quick:
+        cells.insert(1, _cell("service", "load", root_seed, tenants=8,
+                              sessions_per_tenant=32))
+    return cells
+
+
 #: Grid name -> builder(root_seed, quick).  ``GRIDS`` (the public list
 #: the CLI exposes) is asserted against this registry in the tests.
 _GRID_BUILDERS = {
@@ -166,6 +183,7 @@ _GRID_BUILDERS = {
     "sensitivity": lambda root_seed, quick: sensitivity_cells(root_seed),
     "chaos": chaos_cells,
     "raptor": raptor_cells,
+    "service": service_cells,
 }
 
 
@@ -299,6 +317,28 @@ def _run_raptor_cell(cell: SweepCell) -> List[Dict[str, Any]]:
     return [_jsonify(row)]
 
 
+def _run_service_cell(cell: SweepCell) -> List[Dict[str, Any]]:
+    from repro.experiments import service as service_exp
+    params = dict(cell.params)
+    if cell.kind == "load":
+        row = service_exp.run_service_load(
+            seed=cell.seed, tenants=params["tenants"],
+            sessions_per_tenant=params["sessions_per_tenant"])
+    elif cell.kind == "fairshare":
+        row = service_exp.run_service_fairshare(
+            seed=cell.seed, heavy_weight=float(params["heavy_weight"]))
+    elif cell.kind == "admission":
+        row = service_exp.run_service_admission(
+            seed=cell.seed, max_pending=params["max_pending"])
+    elif cell.kind == "sharded":
+        row = service_exp.run_service_sharded(
+            seed=cell.seed, shards=params["shards"],
+            tenants=params["tenants"])
+    else:
+        raise ValueError(f"unknown service cell kind {cell.kind!r}")
+    return [_jsonify(row)]
+
+
 _CELL_RUNNERS = {
     "figure5": _run_figure5_cell,
     "figure6": _run_figure6_cell,
@@ -306,6 +346,7 @@ _CELL_RUNNERS = {
     "sensitivity": _run_sensitivity_cell,
     "chaos": _run_chaos_cell,
     "raptor": _run_raptor_cell,
+    "service": _run_service_cell,
 }
 
 

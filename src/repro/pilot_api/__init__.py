@@ -27,10 +27,12 @@ Usage (inside a simulation process)::
     yield cds.wait()
 """
 
+from repro.core.states import ServiceState
 from repro.pilot_api.service import (
     ComputeDataService,
     PilotComputeService,
     State,
 )
 
-__all__ = ["ComputeDataService", "PilotComputeService", "State"]
+__all__ = ["ComputeDataService", "PilotComputeService", "ServiceState",
+           "State"]

@@ -2,54 +2,61 @@
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Dict, List, Optional
 
 from repro.core.description import (
     AgentConfig,
     ComputePilotDescription,
     ComputeUnitDescription,
+    DescriptionError,
 )
 from repro.core.pilot import ComputePilot
 from repro.core.pilot_manager import PilotManager
 from repro.core.session import Session
-from repro.core.states import PilotState, UnitState
+from repro.core.states import (
+    COARSE_PILOT_STATES,
+    COARSE_UNIT_STATES,
+    PilotState,
+    ServiceState,
+)
 from repro.core.unit import ComputeUnit
 from repro.core.unit_manager import UnitManager
 
 
-class State:
-    """BigJob state constants (strings, as in the Pilot-API)."""
+class _DeprecatedStateMeta(type):
+    """Attribute access on the legacy ``State`` class warns and forwards
+    to :class:`repro.core.states.ServiceState` (same string values)."""
 
-    Unknown = "Unknown"
-    New = "New"
-    Running = "Running"
-    Done = "Done"
-    Canceled = "Canceled"
-    Failed = "Failed"
+    _CANONICAL = {
+        "Unknown": ServiceState.UNKNOWN,
+        "New": ServiceState.NEW,
+        "Running": ServiceState.RUNNING,
+        "Done": ServiceState.DONE,
+        "Canceled": ServiceState.CANCELED,
+        "Failed": ServiceState.FAILED,
+    }
+
+    def __getattr__(cls, name: str) -> str:
+        value = _DeprecatedStateMeta._CANONICAL.get(name)
+        if value is None:
+            raise AttributeError(
+                f"type object 'State' has no attribute {name!r}")
+        warnings.warn(
+            "repro.pilot_api.State is deprecated; use "
+            "repro.core.states.ServiceState (same string values)",
+            DeprecationWarning, stacklevel=2)
+        return value
 
 
-_PILOT_STATE_MAP = {
-    PilotState.NEW: State.New,
-    PilotState.PENDING_LAUNCH: State.New,
-    PilotState.LAUNCHING: State.New,
-    PilotState.PENDING_ACTIVE: State.New,
-    PilotState.ACTIVE: State.Running,
-    PilotState.DONE: State.Done,
-    PilotState.CANCELED: State.Canceled,
-    PilotState.FAILED: State.Failed,
-}
+class State(metaclass=_DeprecatedStateMeta):
+    """Deprecated alias for :class:`repro.core.states.ServiceState`.
 
-_UNIT_STATE_MAP = {
-    UnitState.NEW: State.New,
-    UnitState.UMGR_SCHEDULING: State.New,
-    UnitState.AGENT_STAGING_INPUT: State.New,
-    UnitState.AGENT_SCHEDULING: State.New,
-    UnitState.EXECUTING: State.Running,
-    UnitState.AGENT_STAGING_OUTPUT: State.Running,
-    UnitState.DONE: State.Done,
-    UnitState.CANCELED: State.Canceled,
-    UnitState.FAILED: State.Failed,
-}
+    The BigJob facade and the core model each grew their own copy of the
+    coarse state strings; ``ServiceState`` is now the single source of
+    truth.  Accessing ``State.New`` etc. emits a ``DeprecationWarning``
+    and returns the canonical value.
+    """
 
 
 class PilotCompute:
@@ -60,7 +67,7 @@ class PilotCompute:
         self._pmgr = pmgr
 
     def get_state(self) -> str:
-        return _PILOT_STATE_MAP[self._pilot.state]
+        return COARSE_PILOT_STATES[self._pilot.state]
 
     def get_details(self) -> Dict[str, Any]:
         return {
@@ -71,7 +78,11 @@ class PilotCompute:
         }
 
     def wait_active(self):
-        """Event firing when the pilot can accept work."""
+        """Event firing when the pilot can accept work.
+
+        A bare kernel event (no polling process): the handle's per-state
+        events fire straight from the Pilot-Manager's DB watcher.
+        """
         return self._pilot.wait(PilotState.ACTIVE)
 
     def cancel(self) -> None:
@@ -83,55 +94,87 @@ class PilotCompute:
         return self._pilot
 
 
+def _typed(d: Dict[str, Any], key: str, default: Any, caster,
+           kind: str) -> Any:
+    """Fetch + coerce one description value, or raise DescriptionError."""
+    if key not in d:
+        return default
+    value = d[key]
+    try:
+        return caster(value)
+    except (TypeError, ValueError):
+        raise DescriptionError(
+            f"bad {kind} description value for {key!r}: {value!r} "
+            f"is not a valid {caster.__name__}") from None
+
+
 def _pilot_description_from_dict(d: Dict[str, Any]) -> ComputePilotDescription:
-    """Translate a BigJob pilot_compute_description dict."""
+    """Translate a BigJob pilot_compute_description dict.
+
+    Unknown keys and uncoercible values raise
+    :class:`~repro.core.description.DescriptionError` (a ``ValueError``
+    subclass, so pre-convention call sites keep working).
+    """
     unknown = set(d) - {"service_url", "number_of_nodes",
                         "number_of_processes", "walltime", "queue",
                         "project", "affinity_datacenter_label",
                         "working_directory", "lrm"}
     if unknown:
-        raise ValueError(f"unknown pilot description keys: {sorted(unknown)}")
+        raise DescriptionError(
+            f"unknown pilot description keys: {sorted(unknown)}")
     if "service_url" not in d:
-        raise ValueError("pilot description needs 'service_url'")
-    nodes = d.get("number_of_nodes")
+        raise DescriptionError("pilot description needs 'service_url'")
+    if not isinstance(d["service_url"], str):
+        raise DescriptionError(
+            f"bad pilot description value for 'service_url': "
+            f"{d['service_url']!r} is not a str")
+    nodes = _typed(d, "number_of_nodes", None, int, "pilot")
     if nodes is None:
         # BigJob sizes pilots in processes; map to nodes conservatively
-        processes = d.get("number_of_processes", 1)
+        processes = _typed(d, "number_of_processes", 1, int, "pilot")
         nodes = max(1, (processes + 15) // 16)
     return ComputePilotDescription(
         resource=d["service_url"],
-        nodes=int(nodes),
-        runtime=float(d.get("walltime", 60)),
+        nodes=nodes,
+        runtime=_typed(d, "walltime", 60, float, "pilot"),
         queue=d.get("queue", "normal"),
         project=d.get("project"),
-        agent_config=AgentConfig(lrm=d.get("lrm", "fork")))
+        agent_config=AgentConfig(lrm=d.get("lrm", "fork"))).validate()
 
 
 def _unit_description_from_dict(d: Dict[str, Any]) -> ComputeUnitDescription:
-    """Translate a BigJob compute_unit_description dict."""
+    """Translate a BigJob compute_unit_description dict.
+
+    Unknown keys and uncoercible values raise
+    :class:`~repro.core.description.DescriptionError`.
+    """
     unknown = set(d) - {"executable", "arguments", "number_of_processes",
                         "spmd_variation", "output", "error",
                         "input_staging", "output_staging",
                         "cpu_seconds", "input_bytes", "output_bytes",
                         "function", "args", "kwargs", "memory_mb"}
     if unknown:
-        raise ValueError(f"unknown unit description keys: {sorted(unknown)}")
+        raise DescriptionError(
+            f"unknown unit description keys: {sorted(unknown)}")
     spmd = d.get("spmd_variation", "single")
     launch = "mpiexec" if spmd == "mpi" else None
+    memory_mb = d.get("memory_mb")
+    if memory_mb is not None:
+        memory_mb = _typed(d, "memory_mb", None, int, "unit")
     return ComputeUnitDescription(
         executable=d.get("executable", "/bin/true"),
         arguments=tuple(d.get("arguments", ())),
-        cores=int(d.get("number_of_processes", 1)),
-        memory_mb=d.get("memory_mb"),
-        cpu_seconds=float(d.get("cpu_seconds", 0.0)),
-        input_bytes=float(d.get("input_bytes", 0.0)),
-        output_bytes=float(d.get("output_bytes", 0.0)),
+        cores=_typed(d, "number_of_processes", 1, int, "unit"),
+        memory_mb=memory_mb,
+        cpu_seconds=_typed(d, "cpu_seconds", 0.0, float, "unit"),
+        input_bytes=_typed(d, "input_bytes", 0.0, float, "unit"),
+        output_bytes=_typed(d, "output_bytes", 0.0, float, "unit"),
         function=d.get("function"),
         args=tuple(d.get("args", ())),
         kwargs=dict(d.get("kwargs", {})),
         input_staging=tuple(d.get("input_staging", ())),
         output_staging=tuple(d.get("output_staging", ())),
-        launch_method=launch)
+        launch_method=launch).validate()
 
 
 class PilotComputeService:
@@ -163,7 +206,7 @@ class ComputeUnitHandle:
         self._unit = unit
 
     def get_state(self) -> str:
-        return _UNIT_STATE_MAP[self._unit.state]
+        return COARSE_UNIT_STATES[self._unit.state]
 
     def get_result(self) -> Any:
         return self._unit.result
@@ -202,5 +245,10 @@ class ComputeDataService:
         return handle
 
     def wait(self):
-        """Event firing when every submitted unit is final."""
+        """Event firing when every submitted unit is final.
+
+        One composite kernel event over the units' logical state events
+        — no sleep-loop polling, so the cost is O(outstanding units),
+        not O(wait time / poll interval).
+        """
         return self._umgr.wait_units([h.native for h in self.units])

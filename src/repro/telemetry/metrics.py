@@ -204,6 +204,16 @@ class Histogram(Metric):
                 return bound
         return self.max
 
+    def percentiles(self, ps: Sequence[float]) -> Dict[float, Optional[float]]:
+        """Named percentiles (percent values, e.g. ``(50, 95, 99)``).
+
+        Thin wrapper over :meth:`quantile`: returns ``{p: value}`` with
+        the same bucket-upper-bound semantics, ``None`` values when the
+        histogram is empty.  The benchmark harness consumes this to emit
+        ``*_p50``/``*_p95``/``*_p99`` baseline keys.
+        """
+        return {p: self.quantile(p / 100.0) for p in ps}
+
     def rows(self) -> Iterator[Dict[str, Any]]:
         for window in sorted(self.windows):
             counts = self.windows[window]

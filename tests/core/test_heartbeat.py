@@ -66,6 +66,43 @@ def test_hung_agent_detected_and_pilot_failed():
     assert pilot.state is PilotState.FAILED
 
 
+def test_idle_monitor_schedules_no_polling_events():
+    """With no ACTIVE pilot the monitor parks on a wake event instead
+    of polling, so an idle PilotManager adds ~zero events on top of the
+    site's own background load (the old fixed-interval loop added one
+    timeout per check interval — 200 over this horizon)."""
+
+    def idle_events(with_pmgr):
+        env = Environment()
+        registry = Registry()
+        registry.register(Site(env, stampede(num_nodes=2),
+                               rms_config=FAST_RMS))
+        session = Session(env, registry)
+        if with_pmgr:
+            PilotManager(session, heartbeat_timeout=20.0,
+                         heartbeat_check_interval=5.0)
+        before = env._seq
+        env.run(until=1000.0)
+        return env._seq - before
+
+    assert idle_events(True) - idle_events(False) < 10
+
+
+def test_monitor_wakes_and_stays_phase_aligned():
+    """Resuming from the park keeps checks on the k * interval grid, so
+    detection instants (and digests) match the always-polling loop."""
+    env, session, pmgr, umgr = make_stack(hb_timeout=20.0, hb_check=5.0)
+    env.run(until=12.3)  # park through an odd offset first
+    pilot = pmgr.submit_pilot(ComputePilotDescription(
+        resource="slurm://stampede", nodes=1, runtime=600,
+        agent_config=fast_agent(db_poll_interval=1e6)))
+    env.run(pilot.wait(PilotState.ACTIVE))
+    env.run(pilot.wait())
+    assert pilot.state is PilotState.FAILED
+    # the failure is recorded at a heartbeat-check instant
+    assert env.now % 5.0 == pytest.approx(0.0, abs=1e-9)
+
+
 def test_units_on_hung_pilot_stay_unclaimed():
     env, session, pmgr, umgr = make_stack(hb_timeout=20.0, hb_check=5.0)
     pilot = pmgr.submit_pilot(ComputePilotDescription(

@@ -44,6 +44,8 @@ def test_grid_shapes():
     assert len(build_cells("chaos")) == 5
     assert len(build_cells("raptor")) == 5
     assert len(build_cells("raptor", quick=True)) == 4
+    assert len(build_cells("service")) == 5
+    assert len(build_cells("service", quick=True)) == 4
     with pytest.raises(ValueError, match="unknown sweep grid"):
         build_cells("figure99")
 
@@ -72,6 +74,8 @@ PINNED_CELL_SEEDS = [
     ("chaos", "chaos/bag(fault_rate=0.0,flavor=RP)", 3675950039),
     ("raptor", "raptor/throughput(machine=stampede,ntasks=10000)",
      755268484),
+    ("service", "service/load(sessions_per_tenant=8,tenants=4)",
+     11767156),
 ]
 
 

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.pilot_api import ComputeDataService, PilotComputeService, State
+from repro.core.description import DescriptionError
+from repro.pilot_api import (
+    ComputeDataService,
+    PilotComputeService,
+    ServiceState,
+)
 from repro.pilot_api.service import (
     _pilot_description_from_dict,
     _unit_description_from_dict,
@@ -26,14 +31,14 @@ PILOT_DICT = {
 def test_pilot_lifecycle_via_dicts(stack):
     env, pcs, cds = make_services(stack)
     pilot = pcs.create_pilot(dict(PILOT_DICT))
-    assert pilot.get_state() == State.New
+    assert pilot.get_state() == ServiceState.NEW
     env.run(pilot.wait_active())
-    assert pilot.get_state() == State.Running
+    assert pilot.get_state() == ServiceState.RUNNING
     details = pilot.get_details()
     assert details["agent"]["cores"] == 32
     pilot.cancel()
     env.run(pilot.native.wait())
-    assert pilot.get_state() == State.Canceled
+    assert pilot.get_state() == ServiceState.CANCELED
 
 
 def test_compute_units_via_dicts(stack):
@@ -48,7 +53,7 @@ def test_compute_units_via_dicts(stack):
         "function": lambda: 2026,
     })
     env.run(cds.wait())
-    assert cu.get_state() == State.Done
+    assert cu.get_state() == ServiceState.DONE
     assert cu.get_result() == 2026
 
 
@@ -90,7 +95,43 @@ def test_failed_unit_state_mapping(stack):
 
     cu = cds.submit_compute_unit({"executable": "bad", "function": boom})
     env.run(cds.wait())
-    assert cu.get_state() == State.Failed
+    assert cu.get_state() == ServiceState.FAILED
+
+
+def test_bad_typed_values_raise_description_error():
+    with pytest.raises(DescriptionError, match="walltime"):
+        _pilot_description_from_dict({
+            "service_url": "slurm://x", "walltime": "soon"})
+    with pytest.raises(DescriptionError, match="number_of_nodes"):
+        _pilot_description_from_dict({
+            "service_url": "slurm://x", "number_of_nodes": "two"})
+    with pytest.raises(DescriptionError, match="service_url"):
+        _pilot_description_from_dict({"service_url": 17})
+    with pytest.raises(DescriptionError, match="number_of_processes"):
+        _unit_description_from_dict({
+            "executable": "/bin/date", "number_of_processes": "many"})
+    with pytest.raises(DescriptionError, match="memory_mb"):
+        _unit_description_from_dict({
+            "executable": "/bin/date", "memory_mb": "big"})
+
+
+def test_description_error_is_a_value_error():
+    # callers catching the old ValueError contract keep working
+    with pytest.raises(ValueError, match="unknown unit"):
+        _unit_description_from_dict({"executables": "/bin/date"})
+
+
+def test_state_alias_is_deprecated_but_canonical():
+    from repro.core.states import ServiceState as Canonical
+    from repro.pilot_api import State
+
+    with pytest.warns(DeprecationWarning, match="ServiceState"):
+        value = State.Running
+    assert value == Canonical.RUNNING
+    with pytest.warns(DeprecationWarning):
+        assert State.Done == Canonical.DONE
+    with pytest.raises(AttributeError):
+        State.Bogus
 
 
 def test_pcs_cancel_all(stack):
@@ -100,5 +141,5 @@ def test_pcs_cancel_all(stack):
     env.run(env.all_of([a.wait_active(), b.wait_active()]))
     pcs.cancel()
     env.run(env.all_of([a.native.wait(), b.native.wait()]))
-    assert a.get_state() == State.Canceled
-    assert b.get_state() == State.Canceled
+    assert a.get_state() == ServiceState.CANCELED
+    assert b.get_state() == ServiceState.CANCELED

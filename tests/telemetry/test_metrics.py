@@ -65,6 +65,37 @@ def test_histogram_value_bucketing(registry):
     assert h.quantile(1.0) == 100.0
 
 
+def test_histogram_percentiles(registry):
+    h = registry.histogram("latency", bounds=(1.0, 5.0, 10.0))
+    assert h.quantile(0.5) is None          # empty histogram
+    assert h.percentiles((50, 95)) == {50: None, 95: None}
+    for v in (0.5,) * 90 + (7.0,) * 9 + (100.0,):
+        h.observe(v)
+    pcts = h.percentiles((50, 95, 99, 100))
+    # bucket-upper-bound semantics: the reported value is the smallest
+    # bound covering the requested rank
+    assert pcts[50] == 1.0
+    assert pcts[95] == 10.0
+    assert pcts[99] == 10.0                 # 99th sample is 7.0 -> <= 10
+    assert pcts[100] == 100.0               # overflow bucket -> max
+    assert h.percentiles([50]) == {50: 1.0}
+
+
+def test_harness_percentile_helpers(env):
+    from benchmarks._harness import percentile_keys, percentile_results
+    registry = MetricsRegistry(env)
+    h = registry.histogram("lat", bounds=(1.0, 10.0))
+    assert percentile_keys("submit") == ("submit_p50", "submit_p95",
+                                         "submit_p99")
+    # empty histogram -> 0.0 placeholders, never None in result rows
+    assert percentile_results("submit", h) == {
+        "submit_p50": 0.0, "submit_p95": 0.0, "submit_p99": 0.0}
+    for v in (0.5, 0.6, 20.0):
+        h.observe(v)
+    out = percentile_results("submit", h)
+    assert out["submit_p50"] == 1.0 and out["submit_p99"] == 20.0
+
+
 def test_histogram_time_windows(registry, env):
     h = registry.histogram("latency", bounds=(1.0,), window_seconds=60.0)
     h.observe(0.5)                               # window 0
