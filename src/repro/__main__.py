@@ -11,6 +11,8 @@ Usage::
     python -m repro sweep figure6 --jobs 4 --out results.json
     python -m repro sweep --list         # list the registered grids
     python -m repro lint [--check]       # determinism linter (simlint)
+    python -m repro lint --flow [--check]   # + cross-module taint (SIM10x)
+    python -m repro audit-state [--check]   # snapshot-safety audit (SIM11x)
 
 ``--quick`` restricts Figure 6 to the smallest and largest scenarios
 at 8 and 32 tasks (16 cells instead of 36).
@@ -32,7 +34,22 @@ path) and writes a structured JSON result; ``sweep --list`` (or plain
 sources (wall-clock calls, unseeded RNG, salted ``hash()``, module
 globals, unordered iteration, swallowed exceptions) — see
 :mod:`repro.analysis.simlint`.  ``--check`` makes new-vs-baseline
-findings a non-zero exit for CI.
+findings a non-zero exit for CI.  ``--flow`` adds the import-graph-
+aware SIM10x taint pass (:mod:`repro.analysis.simflow`): wall-clock /
+global-RNG / salted-hash / process-environment values tracked across
+assignments, returns and module boundaries until they reach an
+event-schedule, digest, aggregate-row or telemetry sink.
+
+``audit-state`` walks every class reachable from ``Session`` /
+``Environment`` / ``PilotService`` and classifies each attribute as
+snapshot-safe or hazardous (open handles, live generators, executor
+handles, bound callables, module-global backrefs — SIM11x), deriving
+the committed ``state-manifest.json`` contract the checkpoint layer
+serializes against — see :mod:`repro.analysis.snapshot`.  ``--check``
+fails on manifest drift or un-baselined hazards; ``--update`` rewrites
+the manifest.  Both passes share ``lint``'s suppression and baseline
+machinery and a ``--graph-cache`` that reuses one import-graph build
+across CI steps.
 
 ``main`` returns the process exit code (0 success, 2 usage errors)
 instead of raising ``SystemExit``, so it doubles as the console-script
@@ -174,7 +191,17 @@ def _lint(args: argparse.Namespace) -> int:
         paths=args.paths, output=args.format, check=args.check,
         baseline_path=args.baseline,
         update_baseline=args.update_baseline,
-        list_rules=args.list_rules)
+        list_rules=args.list_rules,
+        flow=args.flow, graph_cache=args.graph_cache)
+
+
+def _audit_state(args: argparse.Namespace) -> int:
+    from repro.analysis.snapshot import audit_command
+    return audit_command(
+        paths=args.paths, roots=args.root or None,
+        manifest_path=args.manifest, baseline_path=args.baseline,
+        output=args.format, check=args.check, update=args.update,
+        graph_cache=args.graph_cache)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -233,6 +260,42 @@ def _build_parser() -> argparse.ArgumentParser:
                            "findings")
     lint.add_argument("--list-rules", action="store_true",
                       help="list the registered rules and exit")
+    lint.add_argument("--flow", action="store_true",
+                      help="also run the cross-module SIM10x taint "
+                           "pass (import-graph-aware)")
+    lint.add_argument("--graph-cache", default=None, metavar="FILE",
+                      help="cache the import-graph analysis here "
+                           "(shared with audit-state in CI)")
+
+    audit = sub.add_parser(
+        "audit-state",
+        help="audit snapshot state reachable from Session/Environment/"
+             "PilotService (SIM11x)")
+    audit.add_argument("paths", nargs="*", default=["src/repro"],
+                       help="files or directories to analyze "
+                            "(default: src/repro)")
+    audit.add_argument("--root", action="append", default=[],
+                       metavar="DOTTED.Class",
+                       help="override the audited root classes "
+                            "(repeatable)")
+    audit.add_argument("--manifest", default="state-manifest.json",
+                       metavar="FILE",
+                       help="committed state-manifest contract file")
+    audit.add_argument("--baseline", default="simlint-baseline.json",
+                       metavar="FILE",
+                       help="shared baseline ledger of accepted "
+                            "findings")
+    audit.add_argument("--format", default="text",
+                       choices=["text", "json"], dest="format",
+                       help="finding output format")
+    audit.add_argument("--check", action="store_true",
+                       help="exit 1 on manifest drift or findings "
+                            "that differ from the baseline (CI mode)")
+    audit.add_argument("--update", action="store_true",
+                       help="rewrite the state manifest from this run")
+    audit.add_argument("--graph-cache", default=None, metavar="FILE",
+                       help="cache the import-graph analysis here "
+                            "(shared with lint --flow in CI)")
 
     trace = sub.add_parser(
         "trace",
@@ -262,6 +325,8 @@ def main(argv=None) -> int:
 
     if args.command == "lint":
         return _lint(args)
+    if args.command == "audit-state":
+        return _audit_state(args)
     if args.command == "trace":
         return _trace(args)
     if args.command == "sweep":

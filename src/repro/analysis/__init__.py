@@ -1,12 +1,20 @@
 """Static and runtime correctness tooling for the reproduction.
 
-Two complementary layers make reproducibility a *checked* property
+Three complementary layers make reproducibility a *checked* property
 instead of a reviewed one:
 
 * :mod:`repro.analysis.simlint` — an AST-based determinism linter with
   a rule registry (:data:`repro.analysis.rules.RULES`, codes
   ``SIM001``-``SIM006``), inline suppressions and a committed
   baseline.  Run it with ``python -m repro lint [--check]``.
+* :mod:`repro.analysis.simflow` / :mod:`repro.analysis.snapshot` —
+  project-wide, import-graph-aware passes over the
+  :class:`~repro.analysis.project.Project` model: cross-module
+  determinism *taint* tracking (``SIM10x``, ``python -m repro lint
+  --flow``) and the snapshot-safety *audit* of everything reachable
+  from ``Session``/``Environment``/``PilotService`` (``SIM11x``,
+  ``python -m repro audit-state``, committed ``state-manifest.json``).
+  Both share simlint's suppression and baseline machinery.
 * :mod:`repro.analysis.sanitizer` — :class:`SimSanitizer`, composable
   runtime invariant checkers over the scheduler, bandwidth pipes,
   YARN and HDFS, switched on with ``REPRO_SANITIZE=1`` or
@@ -14,12 +22,14 @@ instead of a reviewed one:
   :mod:`repro.telemetry`.
 """
 
+from repro.analysis.project import AnalysisCache, Project
 from repro.analysis.rules import RULES, Rule
 from repro.analysis.sanitizer import (
     InvariantViolation,
     SimSanitizer,
     sanitize_enabled,
 )
+from repro.analysis.simflow import analyze_paths, analyze_project
 from repro.analysis.simlint import (
     Baseline,
     BaselineEntry,
@@ -31,15 +41,27 @@ from repro.analysis.simlint import (
     lint_paths,
     lint_source,
 )
+from repro.analysis.snapshot import (
+    ManifestEntry,
+    audit_command,
+    audit_paths,
+)
 
 __all__ = [
+    "AnalysisCache",
     "Baseline",
     "BaselineEntry",
     "Finding",
     "InvariantViolation",
+    "ManifestEntry",
+    "Project",
     "RULES",
     "Rule",
     "SimSanitizer",
+    "analyze_paths",
+    "analyze_project",
+    "audit_command",
+    "audit_paths",
     "format_json",
     "format_text",
     "lint_command",

@@ -53,6 +53,10 @@ class Rule:
 
     code: str = ""
     summary: str = ""
+    #: ``module`` rules run per file inside :func:`lint_source`;
+    #: ``project`` rules need the whole import graph and are driven by
+    #: :mod:`repro.analysis.simflow` / :mod:`repro.analysis.snapshot`.
+    scope: str = "module"
 
     def check(self, tree: ast.Module, source: str) -> Iterator[RawFinding]:
         raise NotImplementedError
@@ -356,3 +360,121 @@ class SwallowedExceptionRule(Rule):
                        "except Exception: pass swallows sim-engine "
                        "errors; catch the specific exception or record "
                        "the cause")
+
+
+# --------------------------------------------------------- project rules
+class ProjectRule(Rule):
+    """A rule that needs the whole import graph.
+
+    The per-module :meth:`check` is a registered no-op: findings for
+    these codes come from the cross-module passes
+    (:func:`repro.analysis.simflow.analyze_paths` for SIM10x,
+    :func:`repro.analysis.snapshot.audit_paths` for SIM11x), which
+    attach to the same :data:`RULES` codes so suppressions, baselines
+    and ``--list-rules`` treat both families uniformly.
+    """
+
+    scope = "project"
+
+    def check(self, tree: ast.Module, source: str) -> Iterator[RawFinding]:
+        return iter(())
+
+
+@register
+class TaintedScheduleRule(ProjectRule):
+    """SIM101: a nondeterministic value reaches an event-schedule sink.
+
+    Taint from wall-clock reads, global-RNG draws, salted ``hash()``,
+    process-environment reads or materialized set ordering flowing —
+    possibly across functions and modules — into ``env.timeout``
+    delays, ``_schedule`` calls, or yielded schedule delays.
+    """
+
+    code = "SIM101"
+    summary = "nondeterministic value reaches an event-schedule sink"
+
+
+@register
+class TaintedDigestRule(ProjectRule):
+    """SIM102: a nondeterministic value reaches a digest input.
+
+    Anything hashed by ``stable_hash``/``hashlib`` becomes part of the
+    byte-identity contract; tainted inputs silently fork digests
+    between runs and processes.
+    """
+
+    code = "SIM102"
+    summary = "nondeterministic value reaches a digest input"
+
+
+@register
+class TaintedAggregateRule(ProjectRule):
+    """SIM103: a nondeterministic value reaches a serialized aggregate.
+
+    ``json.dumps`` payloads in sweep rows and reports must be
+    seed-deterministic; host-side metadata stays out of digested
+    aggregates (or is suppressed where it is deliberate reporting).
+    """
+
+    code = "SIM103"
+    summary = "nondeterministic value reaches a serialized aggregate row"
+
+
+@register
+class TaintedTelemetryRule(ProjectRule):
+    """SIM104: a nondeterministic value reaches a telemetry metric.
+
+    Metric labels and observed samples are replay-compared across
+    runs; tainted label values shard series nondeterministically.
+    """
+
+    code = "SIM104"
+    summary = "nondeterministic value reaches a telemetry label/sample"
+
+
+@register
+class OpenHandleStateRule(ProjectRule):
+    """SIM111: an open file handle stored as snapshot state."""
+
+    code = "SIM111"
+    summary = "open file handle stored as snapshot state"
+
+
+@register
+class GeneratorStateRule(ProjectRule):
+    """SIM112: a live generator/coroutine stored as snapshot state.
+
+    Suspended frames cannot be serialized; a checkpoint layer must
+    replay them from journaled events instead.
+    """
+
+    code = "SIM112"
+    summary = "generator/coroutine stored as snapshot state"
+
+
+@register
+class ExecutorStateRule(ProjectRule):
+    """SIM113: a process/thread executor handle stored as state."""
+
+    code = "SIM113"
+    summary = "executor/thread handle stored as snapshot state"
+
+
+@register
+class CallableStateRule(ProjectRule):
+    """SIM114: a lambda or bound method stored as snapshot state."""
+
+    code = "SIM114"
+    summary = "lambda/bound method stored as snapshot state"
+
+
+@register
+class GlobalBackrefStateRule(ProjectRule):
+    """SIM115: a module-global backref stored as snapshot state.
+
+    Serializing a reference to module-global mutable state forks it:
+    the restored copy and the live global silently diverge.
+    """
+
+    code = "SIM115"
+    summary = "module-global backref stored as snapshot state"

@@ -80,18 +80,42 @@ def suppressions(source: str) -> Dict[int, Optional[Set[str]]]:
     return out
 
 
+def module_rule_codes() -> List[str]:
+    """Codes of the per-module (syntactic) rules, sorted."""
+    from repro.analysis.rules import RULES
+    return sorted(code for code, rule in RULES.items()
+                  if rule.scope == "module")
+
+
+def flow_rule_codes() -> List[str]:
+    """Codes of the cross-module flow rules (SIM10x), sorted."""
+    from repro.analysis.rules import RULES
+    return sorted(code for code, rule in RULES.items()
+                  if rule.scope == "project" and code < "SIM110")
+
+
+def audit_rule_codes() -> List[str]:
+    """Codes of the snapshot-safety rules (SIM11x), sorted."""
+    from repro.analysis.rules import RULES
+    return sorted(code for code, rule in RULES.items()
+                  if rule.scope == "project" and code >= "SIM110")
+
+
 def lint_source(source: str, path: str = "<string>",
                 rules: Optional[Sequence[str]] = None) -> List[Finding]:
     """Lint one module's source text; returns sorted findings.
 
     ``rules`` restricts the run to the given codes (default: all
-    registered rules).  Inline suppressions are already applied.
+    registered per-module rules; project-scope rules need the import
+    graph and are driven by :mod:`repro.analysis.simflow` /
+    :mod:`repro.analysis.snapshot` instead).
     """
     from repro.analysis.rules import RULES
 
     tree = ast.parse(source, filename=path)
     suppressed = suppressions(source)
-    selected = RULES if rules is None else {
+    selected = {code: rule for code, rule in RULES.items()
+                if rule.scope == "module"} if rules is None else {
         code: RULES[code] for code in rules}
     findings: List[Finding] = []
     for code in sorted(selected):
@@ -109,14 +133,23 @@ def lint_source(source: str, path: str = "<string>",
 def lint_file(path: Path | str,
               rules: Optional[Sequence[str]] = None,
               relative_to: Optional[Path] = None) -> List[Finding]:
-    """Lint one file; paths in findings are cwd-relative POSIX style."""
+    """Lint one file; finding paths are repo-root-relative POSIX style.
+
+    The default base is the nearest repo root above the file
+    (``pyproject.toml``/``.git`` marker; the file's directory when no
+    marker exists), *not* the cwd — so the committed baseline's keys
+    (``src/repro/...``) match no matter where the CLI runs from.
+    """
+    from repro.analysis.project import display_base
+
     path = Path(path)
     shown = path
-    base = relative_to or Path.cwd()
-    try:
-        shown = path.resolve().relative_to(base.resolve())
-    except ValueError:
-        pass
+    base = relative_to if relative_to is not None else display_base(path)
+    if base is not None:
+        try:
+            shown = path.resolve().relative_to(Path(base).resolve())
+        except ValueError:
+            pass
     return lint_source(path.read_text(), path=shown.as_posix(),
                        rules=rules)
 
@@ -200,18 +233,25 @@ class Baseline:
             BaselineEntry(path=f.path, code=f.code, line=f.line)
             for f in findings])
 
-    def split(self, findings: Sequence[Finding]
+    def split(self, findings: Sequence[Finding],
+              codes: Optional[Sequence[str]] = None
               ) -> Tuple[List[Finding], List[BaselineEntry]]:
         """Partition a scan against the baseline.
 
         Returns ``(new, stale)``: findings absent from the baseline,
         and baseline entries no fresh finding matched (so the ledger
         can never hold entries that silently stopped reproducing).
+
+        The ledger is shared by the module-rule, flow and audit passes;
+        ``codes`` names the rule codes *this* run executed, so entries
+        for families that did not run are never reported stale.
         """
         known = {e.key for e in self.entries}
         seen = {f.baseline_key for f in findings}
         new = [f for f in findings if f.baseline_key not in known]
-        stale = [e for e in self.entries if e.key not in seen]
+        ran = None if codes is None else set(codes)
+        stale = [e for e in self.entries if e.key not in seen
+                 and (ran is None or e.code in ran)]
         return new, stale
 
 
@@ -244,15 +284,41 @@ def format_json(findings: Sequence[Finding],
 
 
 # -------------------------------------------------------------------- CLI
+def resolve_cli_path(path: str, must_exist: bool = True) -> str:
+    """Resolve a relative CLI path against the repo root as a fallback.
+
+    Running ``python -m repro lint --check`` from a subdirectory must
+    behave exactly as from the root: a relative path (scan target or
+    baseline file) that does not exist under the cwd but does exist
+    under the nearest repo root resolves there.
+    """
+    from repro.analysis.project import repo_root_of
+
+    candidate = Path(path)
+    if candidate.is_absolute() or candidate.exists():
+        return path
+    root = repo_root_of(Path.cwd())
+    if root is not None:
+        rooted = root / candidate
+        if rooted.exists() or not must_exist:
+            return str(rooted)
+    return path
+
+
 def lint_command(paths: Sequence[str], output: str = "text",
                  check: bool = False, baseline_path: str = "simlint-baseline.json",
                  update_baseline: bool = False,
-                 list_rules: bool = False) -> int:
+                 list_rules: bool = False,
+                 flow: bool = False,
+                 graph_cache: Optional[str] = None) -> int:
     """Drive one lint run; returns the process exit code.
 
     Without ``--check`` the scan is report-only (exit 0).  With
     ``--check``, exit 1 when the scan disagrees with the baseline in
-    either direction (new findings, or stale entries).
+    either direction (new findings, or stale entries).  ``flow`` adds
+    the cross-module SIM10x taint pass (``graph_cache`` reuses the
+    import-graph build across CI steps); the baseline ledger is shared,
+    with staleness judged only against the rule families that ran.
     """
     from repro.analysis.rules import RULES
 
@@ -262,14 +328,22 @@ def lint_command(paths: Sequence[str], output: str = "text",
             print(f"{code.ljust(width)}  {rule.summary}")
         return 0
 
+    paths = [resolve_cli_path(p) for p in paths]
+    baseline_path = resolve_cli_path(baseline_path, must_exist=False)
     findings = lint_paths(paths)
+    codes_run = module_rule_codes()
+    if flow:
+        from repro.analysis.simflow import analyze_paths
+        findings = sorted(findings + analyze_paths(
+            paths, cache_path=graph_cache))
+        codes_run += flow_rule_codes()
     if update_baseline:
         Baseline.from_findings(findings).save(baseline_path)
         print(f"wrote {len(findings)} entr(y/ies) to {baseline_path}")
         return 0
 
     baseline = Baseline.load(baseline_path)
-    new, stale = baseline.split(findings)
+    new, stale = baseline.split(findings, codes=codes_run)
     shown = new if check else findings
     if output == "json":
         print(format_json(shown, stale if check else ()))

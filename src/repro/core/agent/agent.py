@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.analysis.sanitizer import InvariantViolation
 from repro.core.agent.executor import ExecutionError, make_backend
 from repro.core.agent.lrm import make_lrm
 from repro.core.description import AgentConfig, ComputePilotDescription
@@ -262,6 +263,11 @@ class Agent:
         except ExecutionError as exc:
             self._advance_unit(uid, UnitState.FAILED,
                                stderr=str(exc), exit_code=1)
+        except InvariantViolation:
+            # A sanitizer finding is a bug in the *simulator*, not the
+            # payload: recording it as a unit failure would bury the
+            # invariant violation in a FAILED state.  Let it crash.
+            raise
         except Exception as exc:  # payload bugs must not kill the agent
             self._advance_unit(uid, UnitState.FAILED,
                                stderr=repr(exc), exit_code=1)

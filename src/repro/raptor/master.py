@@ -25,6 +25,7 @@ from collections import deque
 from heapq import heappop, heappush
 from typing import TYPE_CHECKING, Deque, Dict, List, Optional
 
+from repro.analysis.sanitizer import InvariantViolation
 from repro.raptor.task import TaskResult
 from repro.raptor.worker import RaptorWorker, WorkerLost
 from repro.sim.engine import Environment, Event
@@ -371,6 +372,10 @@ class RaptorMaster:
             self._release(task, worker)
             self._handle_lost_task(task, worker)
             return
+        except InvariantViolation:
+            # Sanitizer findings are simulator bugs — settling them as
+            # a failed TaskResult would swallow the violation.
+            raise
         except Exception as exc:  # payload bugs fail the task, not the sim
             self._release(task, worker)
             self._settle(task, TaskResult(

@@ -23,6 +23,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.analysis.sanitizer import InvariantViolation
 from repro.cluster.machine import Machine
 from repro.cluster.node import Node
 from repro.rms.job import BatchJob, JobDescription, JobState
@@ -218,6 +219,10 @@ class BatchScheduler:
                             # The interrupt we just injected, unwinding
                             # back out of the payload.
                             pass
+                        except InvariantViolation:
+                            # Sanitizer findings must crash the run,
+                            # not be folded into the TIMEOUT reason.
+                            raise
                         except Exception as exc:
                             # Payload teardown failed on its own; the
                             # outcome is still TIMEOUT but the wreckage
@@ -235,6 +240,10 @@ class BatchScheduler:
                 else:
                     outcome_state = JobState.FAILED
                     reason = repr(exc)
+            except InvariantViolation:
+                # A sanitizer finding is a simulator bug, not a job
+                # outcome; a FAILED job record would swallow it.
+                raise
             except Exception as exc:
                 outcome_state = JobState.FAILED
                 reason = repr(exc)

@@ -207,7 +207,9 @@ class Process(Event):
         if not hasattr(generator, "throw"):
             raise SimulationError(f"{generator!r} is not a generator")
         super().__init__(env)
-        self._generator = generator
+        # The live frame IS the process-interaction model; a checkpoint
+        # replays processes from the event log instead of serializing it.
+        self._generator = generator  # simlint: disable=SIM112
         #: What the process is suspended on: an Event, a _Sleep slot
         #: (bare-number yield), or None while running / finished.
         self._target: Optional[object] = None

@@ -200,7 +200,9 @@ class Histogram(Metric):
         seen = 0
         for bound, c in zip(self.bounds, self.bucket_counts(), strict=False):
             seen += c
-            if seen >= target:
+            # Empty buckets never satisfy a quantile: q=0 must report
+            # the first *populated* bucket's bound, not bounds[0].
+            if c > 0 and seen >= target:
                 return bound
         return self.max
 

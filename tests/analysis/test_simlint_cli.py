@@ -86,6 +86,38 @@ def test_list_rules_prints_catalogue(capsys):
         assert code in out
 
 
+def test_finding_paths_are_repo_root_relative(tmp_path, capsys,
+                                              monkeypatch):
+    """Paths key the committed baseline, so they must be the same no
+    matter where the CLI runs from: repo-root-relative POSIX."""
+    (tmp_path / "pyproject.toml").write_text("[project]\n")
+    pkg = write_tree(tmp_path, DIRTY)
+    nested = tmp_path / "deep" / "inside"
+    nested.mkdir(parents=True)
+    monkeypatch.chdir(nested)
+    assert main(["lint", str(pkg), "--format", "json",
+                 "--baseline", str(tmp_path / "b.json")]) == 0
+    (finding,) = json.loads(capsys.readouterr().out)["findings"]
+    assert finding["path"] == "pkg/mod.py"
+
+
+def test_check_is_cwd_independent(tmp_path, capsys, monkeypatch):
+    """``lint --check`` from a subdirectory resolves relative scan and
+    baseline paths against the repo root, not the cwd."""
+    (tmp_path / "pyproject.toml").write_text("[project]\n")
+    pkg = write_tree(tmp_path, DIRTY)
+    monkeypatch.chdir(tmp_path)
+    assert main(["lint", "pkg", "--update-baseline",
+                 "--baseline", "b.json"]) == 0
+    capsys.readouterr()
+    nested = tmp_path / "deep" / "inside"
+    nested.mkdir(parents=True)
+    monkeypatch.chdir(nested)
+    assert main(["lint", "pkg", "--check", "--baseline", "b.json"]) == 0
+    monkeypatch.chdir(tmp_path)
+    assert main(["lint", "pkg", "--check", "--baseline", "b.json"]) == 0
+
+
 def test_committed_baseline_matches_fresh_scan():
     """The repo's own sources lint clean against the committed baseline:
     no new findings, no stale entries.  This is exactly the CI gate."""
@@ -95,3 +127,20 @@ def test_committed_baseline_matches_fresh_scan():
     new, stale = baseline.split(findings)
     assert new == [], "\n".join(f.render() for f in new)
     assert stale == [], [e.key for e in stale]
+
+
+def test_experiments_rule_table_matches_registry():
+    """EXPERIMENTS.md's rule catalogue is the registry, verbatim —
+    documented rules can neither drift from nor lag the code."""
+    import re
+
+    from repro.analysis.rules import RULES
+
+    text = (REPO_ROOT / "EXPERIMENTS.md").read_text()
+    rows = dict(re.findall(r"^\| (SIM\d+) \| (.+?) \|$", text,
+                           flags=re.MULTILINE))
+    registry = {code: rule.summary for code, rule in RULES.items()}
+    assert rows == registry, (
+        "EXPERIMENTS.md rule table disagrees with "
+        "repro.analysis.rules.RULES; regenerate it from "
+        "`python -m repro lint --list-rules`")

@@ -1,0 +1,214 @@
+"""Per-rule fixtures for the SIM11x snapshot-safety audit, plus the
+manifest contract: update/check round trips, drift detection, and the
+committed ``state-manifest.json`` freshness gate."""
+
+import json
+from pathlib import Path
+
+from repro.__main__ import main
+from repro.analysis.project import Project
+from repro.analysis.snapshot import (
+    DEFAULT_ROOTS,
+    SnapshotAuditor,
+    audit_paths,
+    manifest_payload,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def build(tmp_path, source, name="mod"):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir(parents=True)
+    (pkg / "__init__.py").write_text("")
+    (pkg / f"{name}.py").write_text(source)
+    return pkg
+
+
+def audit(pkg, roots=("pkg.mod.Root",)):
+    project = Project.load([pkg])
+    return SnapshotAuditor(project, roots).run()
+
+
+def hazard_codes(findings):
+    return sorted(f.code for f in findings)
+
+
+def test_sim111_open_file_handle(tmp_path):
+    pkg = build(tmp_path, (
+        "class Root:\n"
+        "    def __init__(self, path):\n"
+        "        self.log = open(path)\n"))
+    entries, findings = audit(pkg)
+    assert hazard_codes(findings) == ["SIM111"]
+    (entry,) = [e for e in entries if e.attr == "log"]
+    assert entry.classification == "hazard" and entry.rule == "SIM111"
+
+
+def test_sim112_generator_state(tmp_path):
+    pkg = build(tmp_path, (
+        "def ticker():\n"
+        "    yield 1\n"
+        "class Root:\n"
+        "    def __init__(self):\n"
+        "        self.gen = ticker()\n"
+        "        self.exp = (x for x in range(3))\n"))
+    _, findings = audit(pkg)
+    assert hazard_codes(findings) == ["SIM112", "SIM112"]
+
+
+def test_sim112_generator_annotation(tmp_path):
+    pkg = build(tmp_path, (
+        "from typing import Generator, Optional\n"
+        "class Root:\n"
+        "    def __init__(self):\n"
+        "        self.gen: Optional[Generator] = None\n"))
+    _, findings = audit(pkg)
+    assert hazard_codes(findings) == ["SIM112"]
+
+
+def test_sim113_executor_state(tmp_path):
+    pkg = build(tmp_path, (
+        "from concurrent.futures import ThreadPoolExecutor\n"
+        "class Root:\n"
+        "    def __init__(self):\n"
+        "        self.pool = ThreadPoolExecutor(2)\n"))
+    _, findings = audit(pkg)
+    assert hazard_codes(findings) == ["SIM113"]
+
+
+def test_sim114_lambda_and_bound_method(tmp_path):
+    pkg = build(tmp_path, (
+        "class Root:\n"
+        "    def __init__(self):\n"
+        "        self.cb = lambda: 1\n"
+        "        self.hook = self.tick\n"
+        "    def tick(self):\n"
+        "        return 0\n"))
+    _, findings = audit(pkg)
+    assert hazard_codes(findings) == ["SIM114", "SIM114"]
+
+
+def test_sim115_module_global_backref(tmp_path):
+    pkg = build(tmp_path, (
+        "REGISTRY = {}\n"
+        "LIMIT = 5\n"
+        "class Root:\n"
+        "    def __init__(self):\n"
+        "        self.registry = REGISTRY\n"
+        "        self.limit = LIMIT\n"))
+    entries, findings = audit(pkg)
+    assert hazard_codes(findings) == ["SIM115"]
+    # Immutable module constants are safe, not backrefs.
+    (limit,) = [e for e in entries if e.attr == "limit"]
+    assert limit.classification == "safe"
+
+
+def test_audit_walks_composed_and_annotated_classes(tmp_path):
+    """Reachability spans constructor calls, Optional[...] annotations
+    and container element types."""
+    pkg = build(tmp_path, (
+        "from typing import Optional\n"
+        "class Leaf:\n"
+        "    def __init__(self):\n"
+        "        self.cb = lambda: 1\n"
+        "class Mid:\n"
+        "    def __init__(self):\n"
+        "        self.pending: list[tuple[int, Leaf]] = []\n"
+        "class Root:\n"
+        "    def __init__(self):\n"
+        "        self.mid: Optional[Mid] = None\n"))
+    entries, findings = audit(pkg)
+    assert {e.class_name for e in entries} == {
+        "pkg.mod.Root", "pkg.mod.Mid", "pkg.mod.Leaf"}
+    assert hazard_codes(findings) == ["SIM114"]
+
+
+def test_inline_suppression_silences_audit_finding(tmp_path):
+    pkg = build(tmp_path, (
+        "class Root:\n"
+        "    def __init__(self, path):\n"
+        "        self.log = open(path)  # simlint: disable=SIM111\n"))
+    entries, findings = audit(pkg)
+    assert findings == []
+    # The manifest still records the hazard: suppression excuses the
+    # finding, it does not launder the contract.
+    (entry,) = [e for e in entries if e.attr == "log"]
+    assert entry.classification == "hazard"
+
+
+def test_cli_check_fails_without_manifest_then_passes(tmp_path, capsys):
+    pkg = build(tmp_path, (
+        "class Root:\n"
+        "    def __init__(self):\n"
+        "        self.name = 'root'\n"))
+    manifest = tmp_path / "m.json"
+    baseline = tmp_path / "b.json"
+    argv = [str(pkg), "--root", "pkg.mod.Root",
+            "--manifest", str(manifest), "--baseline", str(baseline)]
+    assert main(["audit-state", *argv, "--check"]) == 1
+    assert "missing" in capsys.readouterr().out
+    assert main(["audit-state", *argv, "--update"]) == 0
+    capsys.readouterr()
+    assert main(["audit-state", *argv, "--check"]) == 0
+
+
+def test_cli_check_fails_on_manifest_drift(tmp_path, capsys):
+    source = ("class Root:\n"
+              "    def __init__(self):\n"
+              "        self.name = 'root'\n")
+    pkg = build(tmp_path, source)
+    manifest = tmp_path / "m.json"
+    argv = [str(pkg), "--root", "pkg.mod.Root",
+            "--manifest", str(manifest),
+            "--baseline", str(tmp_path / "b.json")]
+    assert main(["audit-state", *argv, "--update"]) == 0
+    (pkg / "mod.py").write_text(source +
+                                "        self.extra = 1\n")
+    capsys.readouterr()
+    assert main(["audit-state", *argv, "--check"]) == 1
+    assert "out of date" in capsys.readouterr().out
+
+
+def test_cli_check_fails_on_unbaselined_hazard(tmp_path, capsys):
+    pkg = build(tmp_path, (
+        "class Root:\n"
+        "    def __init__(self, path):\n"
+        "        self.log = open(path)\n"))
+    argv = [str(pkg), "--root", "pkg.mod.Root",
+            "--manifest", str(tmp_path / "m.json"),
+            "--baseline", str(tmp_path / "b.json")]
+    assert main(["audit-state", *argv, "--update"]) == 0
+    capsys.readouterr()
+    assert main(["audit-state", *argv, "--check"]) == 1
+    assert "SIM111" in capsys.readouterr().out
+
+
+def test_cli_baselined_hazard_passes_check(tmp_path, capsys):
+    pkg = build(tmp_path, (
+        "class Root:\n"
+        "    def __init__(self, path):\n"
+        "        self.log = open(path)\n"))
+    baseline = tmp_path / "b.json"
+    baseline.write_text(json.dumps({"version": 1, "entries": [
+        {"path": "pkg/mod.py", "code": "SIM111", "line": 3,
+         "justification": "fixture"}]}))
+    argv = [str(pkg), "--root", "pkg.mod.Root",
+            "--manifest", str(tmp_path / "m.json"),
+            "--baseline", str(baseline)]
+    assert main(["audit-state", *argv, "--update"]) == 0
+    capsys.readouterr()
+    assert main(["audit-state", *argv, "--check"]) == 0
+
+
+def test_committed_state_manifest_matches_fresh_audit():
+    """The committed ``state-manifest.json`` is current and every
+    hazard in the real tree is excused: the CI gate for audit-state."""
+    entries, findings = audit_paths([REPO_ROOT / "src" / "repro"])
+    derived = manifest_payload(DEFAULT_ROOTS, entries)
+    committed = json.loads(
+        (REPO_ROOT / "state-manifest.json").read_text())
+    assert committed == derived, (
+        "state-manifest.json is out of date; run "
+        "`python -m repro audit-state --update`")
+    assert findings == [], "\n".join(f.render() for f in findings)

@@ -81,6 +81,36 @@ def test_histogram_percentiles(registry):
     assert h.percentiles([50]) == {50: 1.0}
 
 
+def test_histogram_quantile_edge_cases(registry):
+    h = registry.histogram("latency", bounds=(1.0, 5.0, 10.0))
+    # Empty histogram: every quantile is None, including the extremes.
+    assert h.quantile(0.0) is None
+    assert h.quantile(1.0) is None
+    # Out-of-range q is a usage error, not a silent clamp.
+    with pytest.raises(ValueError):
+        h.quantile(-0.01)
+    with pytest.raises(ValueError):
+        h.quantile(1.01)
+    # q=0 reports the first *populated* bucket's bound: samples in the
+    # 5.0 bucket must not surface the empty 1.0 bucket's bound.
+    h.observe(3.0)
+    assert h.quantile(0.0) == 5.0
+    assert h.quantile(1.0) == 5.0
+
+
+def test_histogram_single_bucket_and_overflow(registry):
+    h = registry.histogram("latency", bounds=(2.0,))
+    for v in (0.5, 1.0, 2.0):
+        h.observe(v)
+    assert h.quantile(0.0) == 2.0
+    assert h.quantile(0.5) == 2.0
+    assert h.quantile(1.0) == 2.0
+    # Overflow samples land past the last bound: the answer is max.
+    h.observe(9.0)
+    assert h.quantile(1.0) == 9.0
+    assert h.percentiles((0, 100)) == {0: 2.0, 100: 9.0}
+
+
 def test_harness_percentile_helpers(env):
     from benchmarks._harness import percentile_keys, percentile_results
     registry = MetricsRegistry(env)
