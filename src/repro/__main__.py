@@ -7,12 +7,16 @@ Usage::
     python -m repro ablations            # A1-A3
     python -m repro sensitivity          # the Lustre-bandwidth sweep
     python -m repro all [--quick]        # everything above
-    python -m repro trace [--out DIR]    # one traced K-Means run
-    python -m repro sweep figure6 --jobs 4 --out results.json
+    python -m repro trace [--output DIR] # one traced K-Means run
+    python -m repro sweep figure6 --jobs 4 --output results.json
     python -m repro sweep --list         # list the registered grids
+    python -m repro sweep chaos --run-dir runs/c1       # crash-safe
+    python -m repro sweep chaos --run-dir runs/c1 --resume
     python -m repro lint [--check]       # determinism linter (simlint)
     python -m repro lint --flow [--check]   # + cross-module taint (SIM10x)
     python -m repro audit-state [--check]   # snapshot-safety audit (SIM11x)
+    python -m repro checkpoint bag --store ckpt --at 120
+    python -m repro restore ckpt [--until T]
 
 ``--quick`` restricts Figure 6 to the smallest and largest scenarios
 at 8 and 32 tasks (16 cells instead of 36).
@@ -28,7 +32,12 @@ and metrics files — see :mod:`repro.telemetry`.
 pool (parallel by default, ``--jobs 1`` for the sequential reference
 path) and writes a structured JSON result; ``sweep --list`` (or plain
 ``sweep``) prints the registered grid names — see
-:mod:`repro.experiments.sweeps`.
+:mod:`repro.experiments.sweeps`.  With ``--run-dir`` the sweep is
+crash-safe: the grid's identity is committed up front and every
+finished cell is journaled durably, so a killed run resumed with
+``--resume`` re-runs only the unfinished cells and produces a
+byte-identical aggregate digest; ``--max-cells N`` bounds one
+invocation for incremental runs.
 
 ``lint`` runs simlint, the determinism linter, over the simulation
 sources (wall-clock calls, unseeded RNG, salted ``hash()``, module
@@ -46,10 +55,23 @@ snapshot-safe or hazardous (open handles, live generators, executor
 handles, bound callables, module-global backrefs — SIM11x), deriving
 the committed ``state-manifest.json`` contract the checkpoint layer
 serializes against — see :mod:`repro.analysis.snapshot`.  ``--check``
-fails on manifest drift or un-baselined hazards; ``--update`` rewrites
-the manifest.  Both passes share ``lint``'s suppression and baseline
-machinery and a ``--graph-cache`` that reuses one import-graph build
-across CI steps.
+fails on manifest (= checkpoint-schema) drift or un-baselined hazards;
+``--update-manifest`` rewrites the manifest.  Both passes share
+``lint``'s suppression and baseline machinery and a ``--graph-cache``
+that reuses one import-graph build across CI steps.
+
+``checkpoint`` launches a registered scenario (``checkpoint --list``
+names them), optionally advances the clock with ``--at T``, and writes
+a crash-safe snapshot into a content-addressed store; ``restore``
+rebuilds the session in a fresh process by deterministic replay and
+*proves* the state digest matches before exiting 0 — see
+:mod:`repro.persist`.
+
+Every verb is declared in the :data:`repro.cli.REGISTRY` command
+registry (name, arguments, runner, exit codes); renamed flags keep
+their old spellings as deprecation-gated aliases (``--out`` for
+``--output`` on ``sweep``/``trace``, ``--update`` for
+``--update-manifest`` on ``audit-state``).
 
 ``main`` returns the process exit code (0 success, 2 usage errors)
 instead of raising ``SystemExit``, so it doubles as the console-script
@@ -58,292 +80,9 @@ entry point.
 
 from __future__ import annotations
 
-import argparse
 import sys
 
-
-def _figure5() -> None:
-    from repro.experiments import (
-        run_figure5_pilot_startup,
-        run_figure5_unit_startup,
-    )
-    from repro.experiments.tables import figure5_report
-    print(figure5_report(run_figure5_pilot_startup(),
-                         run_figure5_unit_startup()))
-
-
-def _figure6(quick: bool) -> None:
-    from repro.experiments import run_figure6
-    from repro.experiments.tables import figure6_report
-    kwargs = {}
-    if quick:
-        kwargs = {"scenarios": [(10_000, 5_000), (1_000_000, 50)],
-                  "task_counts": [8, 32]}
-    print(figure6_report(run_figure6(**kwargs)))
-
-
-def _ablations() -> None:
-    from repro.experiments.ablations import (
-        run_am_reuse,
-        run_integration_level,
-        run_spark_deploy_mode,
-    )
-    from repro.experiments.tables import format_table
-    a1 = run_integration_level()
-    print("A1 — YARN integration level (CU startup)")
-    print(format_table(["wiring", "CU startup (s)", "WAN round-trips"],
-                       [(r.wiring, r.unit_startup, r.wan_roundtrips)
-                        for r in a1]))
-    a2 = run_spark_deploy_mode()
-    print("\nA2 — Spark deployment mode (cluster-ready time)")
-    print(format_table(["mode", "cluster ready (s)", "frameworks"],
-                       [(r.mode, r.cluster_ready, r.frameworks_started)
-                        for r in a2]))
-    a3 = run_am_reuse()
-    print("\nA3 — Application Master re-use (warm CU startup)")
-    print(format_table(["mode", "warm CU startup (s)"],
-                       [(r.mode, r.warm_unit_startup) for r in a3]))
-
-
-def _sensitivity() -> None:
-    from repro.experiments.sensitivity import (
-        crossover_bandwidth,
-        sweep_lustre_bandwidth,
-    )
-    from repro.experiments.tables import format_table
-    rows = sweep_lustre_bandwidth()
-    print("S1 — YARN advantage vs job-visible Lustre bandwidth")
-    print(format_table(
-        ["lustre share (MB/s)", "RP (s)", "RP-YARN (s)", "advantage (%)"],
-        [(f"{r.lustre_bw / 1e6:.0f}", r.rp_runtime, r.yarn_runtime,
-          r.yarn_advantage * 100) for r in rows]))
-    crossover = crossover_bandwidth(rows)
-    if crossover is not None:
-        print(f"crossover at ~{crossover / 1e6:.0f} MB/s")
-
-
-def _trace(args: argparse.Namespace) -> int:
-    from repro.telemetry.runner import format_report, run_traced_kmeans
-    try:
-        run = run_traced_kmeans(
-            machine=args.machine, flavor=args.flavor, points=args.points,
-            clusters=args.clusters, ntasks=args.ntasks,
-            iterations=args.iterations, seed=args.seed, out_dir=args.out)
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    print(format_report(run))
-    return 0 if run.centroids_ok else 1
-
-
-def _sweep(args: argparse.Namespace) -> int:
-    from repro.experiments.sweeps import GRIDS, build_cells, run_sweep
-    from repro.experiments.tables import format_table
-    if args.list or args.grid is None:
-        # Discoverability: list every registered grid with its size, so
-        # new grids never need a trip through the source.
-        print("registered sweep grids:")
-        for name in GRIDS:
-            cells = build_cells(name, root_seed=args.seed,
-                                quick=args.quick)
-            print(f"  {name:<12} {len(cells)} cells")
-        if args.grid is None and not args.list:
-            print("\nusage: python -m repro sweep GRID [--jobs N] "
-                  "[--quick] [--out FILE]")
-        return 0
-    try:
-        run = run_sweep(args.grid, root_seed=args.seed, jobs=args.jobs,
-                        quick=args.quick)
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    print(f"sweep {run.grid}: {len(run.results)} cells, "
-          f"jobs={run.jobs}, wall {run.wall_seconds:.2f}s, "
-          f"digest {run.digest()[:12]}")
-    print(format_table(
-        ["cell", "wall (s)"],
-        [(r["key"], r["wall_seconds"]) for r in run.results]))
-    if run.grid == "raptor":
-        # The headline comparison: overlay vs. per-unit tasks/sec.
-        for result in run.results:
-            for row in result["rows"]:
-                if "speedup" in row:
-                    print(f"{row['ntasks']} tasks: overlay "
-                          f"{row['overlay_tasks_per_sec']:.0f} tasks/s "
-                          f"vs per-unit YARN "
-                          f"{row['per_unit_tasks_per_sec']:.2f} tasks/s "
-                          f"-> {row['speedup']:.0f}x")
-                elif "identical" in row:
-                    state = "identical" if row["identical"] else "DIVERGED"
-                    print(f"equivalence ({row['ntasks']} tasks): "
-                          f"overlay and per-unit results {state}")
-    if args.out:
-        import json
-        with open(args.out, "w") as fh:
-            json.dump(run.report(), fh, indent=2, sort_keys=True)
-        print(f"wrote {args.out}")
-    return 0
-
-
-def _lint(args: argparse.Namespace) -> int:
-    from repro.analysis.simlint import lint_command
-    return lint_command(
-        paths=args.paths, output=args.format, check=args.check,
-        baseline_path=args.baseline,
-        update_baseline=args.update_baseline,
-        list_rules=args.list_rules,
-        flow=args.flow, graph_cache=args.graph_cache)
-
-
-def _audit_state(args: argparse.Namespace) -> int:
-    from repro.analysis.snapshot import audit_command
-    return audit_command(
-        paths=args.paths, roots=args.root or None,
-        manifest_path=args.manifest, baseline_path=args.baseline,
-        output=args.format, check=args.check, update=args.update,
-        graph_cache=args.graph_cache)
-
-
-def _build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro",
-        description="Regenerate the paper's experiments on the "
-                    "simulated testbed.")
-    sub = parser.add_subparsers(dest="command", required=True,
-                                metavar="command")
-
-    for name in ("figure5", "figure6", "ablations", "sensitivity", "all"):
-        p = sub.add_parser(name, help=f"run the {name} experiment(s)")
-        if name in ("figure6", "all"):
-            p.add_argument("--quick", action="store_true",
-                           help="figure6: run a reduced 16-cell grid")
-
-    from repro.experiments.sweeps import GRIDS
-    sweep = sub.add_parser(
-        "sweep",
-        help="run an experiment grid over a process pool "
-             f"({', '.join(GRIDS)})")
-    sweep.add_argument("grid", nargs="?", default=None,
-                       choices=list(GRIDS),
-                       help="grid to run; omit (or --list) to list the "
-                            "registered grids")
-    sweep.add_argument("--list", action="store_true",
-                       help="list the registered sweep grids and exit")
-    sweep.add_argument("--jobs", type=int, default=None, metavar="N",
-                       help="worker processes (default: all cores; "
-                            "1 = sequential reference path)")
-    sweep.add_argument("--seed", type=int, default=42,
-                       help="root seed; per-cell seeds derive from it")
-    sweep.add_argument("--quick", action="store_true",
-                       help="figure6/chaos/raptor/service: run a "
-                            "reduced grid")
-    sweep.add_argument("--out", default=None, metavar="FILE",
-                       help="write the structured JSON result here")
-
-    lint = sub.add_parser(
-        "lint",
-        help="run simlint, the determinism linter, over the sources")
-    lint.add_argument("paths", nargs="*", default=["src/repro"],
-                      help="files or directories to lint "
-                           "(default: src/repro)")
-    lint.add_argument("--format", default="text",
-                      choices=["text", "json"], dest="format",
-                      help="finding output format")
-    lint.add_argument("--check", action="store_true",
-                      help="exit 1 when findings differ from the "
-                           "baseline (CI mode)")
-    lint.add_argument("--baseline", default="simlint-baseline.json",
-                      metavar="FILE",
-                      help="baseline file of accepted findings")
-    lint.add_argument("--update-baseline", action="store_true",
-                      help="rewrite the baseline from this run's "
-                           "findings")
-    lint.add_argument("--list-rules", action="store_true",
-                      help="list the registered rules and exit")
-    lint.add_argument("--flow", action="store_true",
-                      help="also run the cross-module SIM10x taint "
-                           "pass (import-graph-aware)")
-    lint.add_argument("--graph-cache", default=None, metavar="FILE",
-                      help="cache the import-graph analysis here "
-                           "(shared with audit-state in CI)")
-
-    audit = sub.add_parser(
-        "audit-state",
-        help="audit snapshot state reachable from Session/Environment/"
-             "PilotService (SIM11x)")
-    audit.add_argument("paths", nargs="*", default=["src/repro"],
-                       help="files or directories to analyze "
-                            "(default: src/repro)")
-    audit.add_argument("--root", action="append", default=[],
-                       metavar="DOTTED.Class",
-                       help="override the audited root classes "
-                            "(repeatable)")
-    audit.add_argument("--manifest", default="state-manifest.json",
-                       metavar="FILE",
-                       help="committed state-manifest contract file")
-    audit.add_argument("--baseline", default="simlint-baseline.json",
-                       metavar="FILE",
-                       help="shared baseline ledger of accepted "
-                            "findings")
-    audit.add_argument("--format", default="text",
-                       choices=["text", "json"], dest="format",
-                       help="finding output format")
-    audit.add_argument("--check", action="store_true",
-                       help="exit 1 on manifest drift or findings "
-                            "that differ from the baseline (CI mode)")
-    audit.add_argument("--update", action="store_true",
-                       help="rewrite the state manifest from this run")
-    audit.add_argument("--graph-cache", default=None, metavar="FILE",
-                       help="cache the import-graph analysis here "
-                            "(shared with lint --flow in CI)")
-
-    trace = sub.add_parser(
-        "trace",
-        help="run one telemetry-enabled K-Means cell and export traces")
-    trace.add_argument("--machine", default="stampede",
-                       choices=["stampede", "wrangler"])
-    trace.add_argument("--flavor", default="RP-YARN",
-                       choices=["RP", "RP-YARN"],
-                       help="plain pilot (fork) or Mode I YARN pilot")
-    trace.add_argument("--points", type=int, default=10_000)
-    trace.add_argument("--clusters", type=int, default=8)
-    trace.add_argument("--ntasks", type=int, default=8)
-    trace.add_argument("--iterations", type=int, default=2)
-    trace.add_argument("--seed", type=int, default=42)
-    trace.add_argument("--out", default=None, metavar="DIR",
-                       help="write trace.json / spans.jsonl / "
-                            "events.jsonl / metrics.jsonl here")
-    return parser
-
-
-def main(argv=None) -> int:
-    try:
-        args = _build_parser().parse_args(argv)
-    except SystemExit as exc:  # bad args (or --help): report, don't raise
-        code = exc.code
-        return code if isinstance(code, int) else 2
-
-    if args.command == "lint":
-        return _lint(args)
-    if args.command == "audit-state":
-        return _audit_state(args)
-    if args.command == "trace":
-        return _trace(args)
-    if args.command == "sweep":
-        return _sweep(args)
-    if args.command in ("figure5", "all"):
-        _figure5()
-        print()
-    if args.command in ("figure6", "all"):
-        _figure6(args.quick)
-        print()
-    if args.command in ("ablations", "all"):
-        _ablations()
-        print()
-    if args.command in ("sensitivity", "all"):
-        _sensitivity()
-    return 0
-
+from repro.cli import main
 
 if __name__ == "__main__":
     sys.exit(main())

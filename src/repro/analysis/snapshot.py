@@ -613,7 +613,8 @@ def audit_command(paths: Sequence[str],
                   graph_cache: Optional[str] = None) -> int:
     """Drive one snapshot-safety audit; returns the process exit code.
 
-    ``--update`` rewrites the committed manifest from this run.  With
+    ``--update-manifest`` rewrites the committed manifest from this
+    run (the old ``--update`` spelling is a deprecated alias).  With
     ``--check``, exit 1 when (a) the derived manifest differs from the
     committed one — the serialization contract drifted — or (b) an
     unsuppressed hazard finding is not covered by the shared baseline
@@ -664,13 +665,24 @@ def audit_command(paths: Sequence[str],
               f"[{summary}]")
         if shown or (check and stale):
             print(format_text(shown, stale if check else ()))
-    if check:
+    if check and (not matches or new or stale):
+        # One unified failure: manifest drift and new/stale hazard
+        # findings are the same contract violation — the committed
+        # manifest doubles as the checkpoint schema (repro.persist
+        # embeds its digest in every snapshot), so either way a
+        # Session-reachable class changed what a checkpoint must
+        # serialize.
+        causes = []
         if not matches:
             state = "missing" if committed is None else "out of date"
-            print(f"state manifest {manifest_path} is {state}; "
-                  "run `python -m repro audit-state --update` and "
-                  "review the diff")
-            return 1
+            causes.append(f"state manifest {manifest_path} is {state}")
         if new or stale:
-            return 1
+            causes.append(f"{len(new)} new / {len(stale)} stale "
+                          f"snapshot-hazard finding(s)")
+        print(f"checkpoint-schema drift: {'; '.join(causes)}. "
+              "Run `python -m repro audit-state --update-manifest`, "
+              "review the diff, and see README.md 'Crash-safe state & "
+              "resume' — existing snapshot stores will refuse to "
+              "restore across this change (SchemaDrift).")
+        return 1
     return 0

@@ -60,6 +60,24 @@ from repro.raptor import (
     TaskResult,
 )
 from repro.core.states import ServiceState
+from repro.experiments.sweeps import Sweep, SweepRun
+from repro.persist import (
+    CheckpointInfo,
+    JournalError,
+    PersistError,
+    RestoreMismatch,
+    SchemaDrift,
+    SnapshotStore,
+    StoreError,
+    SweepJournal,
+    checkpoint_session,
+    launch,
+    restore,
+    scenario,
+    scenario_names,
+    state_digest,
+    state_fingerprint,
+)
 from repro.saga.registry import Registry, Site, default_registry
 from repro.service import (
     PilotService,
@@ -73,6 +91,7 @@ from repro.sim.engine import Environment, SimulationError
 __all__ = [
     "AgentConfig",
     "BackfillScheduler",
+    "CheckpointInfo",
     "ComputeDataService",
     "ComputePilot",
     "ComputePilotDescription",
@@ -88,6 +107,8 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",
+    "JournalError",
+    "PersistError",
     "PilotData",
     "PilotDataDescription",
     "PilotManager",
@@ -98,13 +119,20 @@ __all__ = [
     "RaptorOverlay",
     "Registry",
     "RestartPolicy",
+    "RestoreMismatch",
     "RoundRobinScheduler",
+    "SchemaDrift",
     "ServiceConfig",
     "ServiceSession",
     "ServiceState",
     "Session",
     "SimulationError",
     "Site",
+    "SnapshotStore",
+    "StoreError",
+    "Sweep",
+    "SweepJournal",
+    "SweepRun",
     "TaskDescription",
     "TaskFuture",
     "TaskResult",
@@ -112,5 +140,12 @@ __all__ = [
     "Ticket",
     "UnitManager",
     "UnitState",
+    "checkpoint_session",
     "default_registry",
+    "launch",
+    "restore",
+    "scenario",
+    "scenario_names",
+    "state_digest",
+    "state_fingerprint",
 ]

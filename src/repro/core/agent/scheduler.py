@@ -140,6 +140,19 @@ class ContinuousScheduler:
     def free_cores(self) -> int:
         return self._free_cores
 
+    def snapshot_state(self) -> dict:
+        """Checkpoint fingerprint: the full free-core ledger.
+
+        Per-node free counts (name-sorted) pin down placement state
+        exactly; the aggregate counters alone could mask a transposed
+        allocation after restore-replay.
+        """
+        return {"kind": "continuous_scheduler",
+                "free": dict(sorted(self._free.items())),
+                "free_cores": self._free_cores,
+                "total_cores": self._total_cores,
+                "waiting": self._waiting}
+
     def allocate(self, cores: int) -> Event:
         """Request ``cores``; event fires with a :class:`SlotAllocation`."""
         if cores < 1:
@@ -400,6 +413,15 @@ class YarnAgentScheduler:
     def cluster_state(self) -> Dict[str, float]:
         """The RM metrics snapshot the scheduler works from."""
         return self.rm.cluster_metrics()
+
+    def snapshot_state(self) -> dict:
+        """Checkpoint fingerprint: reservations + RM-visible capacity."""
+        return {"kind": "yarn_agent_scheduler",
+                "reserved_mb": self._reserved_mb,
+                "reserved_cores": self._reserved_cores,
+                "waiting": self._waiting,
+                "cluster": {k: v for k, v in
+                            sorted(self.cluster_state().items())}}
 
     def allocate(self, cores: int, memory_mb: int) -> Event:
         """Reserve a (cores, memory) slot; fires with a SlotAllocation."""

@@ -134,6 +134,11 @@ class Collection:
         self._notify()
         return True
 
+    def snapshot_state(self) -> list:
+        """All documents in insertion-sequence order (for fingerprints)."""
+        return [self._docs[doc_id] for doc_id, _ in
+                sorted(self._seq.items(), key=lambda kv: kv[1])]
+
     def watch(self) -> Event:
         """Event firing at the next mutation of this collection."""
         event = Event(self.env)
@@ -162,6 +167,16 @@ class Database:
         if name not in self._collections:
             self._collections[name] = Collection(self.env, name)
         return self._collections[name]
+
+    def snapshot_state(self) -> dict:
+        """Checkpoint fingerprint: every collection's documents.
+
+        Documents come back in insertion-sequence order (the canonical
+        read order everywhere else in the stack); values are
+        canonicalized by the persist layer, not here.
+        """
+        return {name: col.snapshot_state()
+                for name, col in sorted(self._collections.items())}
 
     def roundtrip(self) -> Event:
         """One client<->DB network round-trip (yield it)."""

@@ -39,6 +39,10 @@ class PilotManager:
         self._hb_epoch = self.env.now
         self._hb_monitor = self.env.process(
             self._heartbeat_monitor(), name=f"{self.uid}-hb")
+        #: pilot uid -> agent handle, kept so the checkpoint fingerprint
+        #: can reach live scheduler free-core state.
+        self.agents: Dict[str, object] = {}
+        session.register_component(self)
 
     # ---------------------------------------------------------- submission
     def submit_pilot(self, description: ComputePilotDescription) -> ComputePilot:
@@ -59,6 +63,7 @@ class PilotManager:
 
         service = self._service(description.resource)
         agent = Agent(self.session, uid, service.site, description)
+        self.agents[uid] = agent
         advance_doc(col, uid, PilotState.PENDING_LAUNCH, self.env.now)
 
         saga_job = service.create_job(SagaDescription(
@@ -189,6 +194,32 @@ class PilotManager:
                     self._wake_heartbeat_monitor()
             if doc.get("agent_info") and not pilot.agent_info:
                 pilot.agent_info = doc["agent_info"]
+
+    def snapshot_state(self) -> dict:
+        """Checkpoint fingerprint: pilot states + agent scheduler cores.
+
+        Reduces each live pilot handle to its deterministic coordinates
+        and asks each agent's backend scheduler for its free-core
+        summary, so a restored process can prove the allocation state
+        replayed identically.
+        """
+        pilots = {}
+        for uid, pilot in sorted(self.pilots.items()):
+            entry: dict = {"state": pilot.state.value}
+            agent = self.agents.get(uid)
+            backend = getattr(agent, "backend", None)
+            scheduler = getattr(backend, "scheduler", None)
+            if scheduler is not None:
+                snap = getattr(scheduler, "snapshot_state", None)
+                if snap is not None:
+                    entry["scheduler"] = snap()
+                else:
+                    entry["scheduler"] = {
+                        "free_cores": getattr(scheduler, "free_cores",
+                                              None)}
+            pilots[uid] = entry
+        return {"kind": "pilot_manager", "uid": self.uid,
+                "pilots": pilots}
 
     def _wake_heartbeat_monitor(self) -> None:
         """Un-park the heartbeat monitor (a pilot just went ACTIVE)."""

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import itertools
 from typing import Optional
 
 from repro.analysis.sanitizer import SimSanitizer, sanitize_enabled
@@ -40,7 +39,21 @@ class Session:
         self.db = db or Database(env)
         self.rng = SeedSequenceRegistry(seed)
         self.closed = False
-        self._uid_counters: dict[str, itertools.count] = {}
+        # Plain ints (not itertools.count): a checkpoint snapshots the
+        # counters directly instead of poking at iterator internals.
+        self._uid_counters: dict[str, int] = {}
+        #: How this session can be rebuilt in a fresh process — set by
+        #: :func:`repro.persist.launch`; ``None`` means the session is
+        #: not checkpointable (no registered scenario to replay).
+        self.provenance = None
+        #: Persistence participants in construction order: managers and
+        #: overlays register here so the checkpoint fingerprint walker
+        #: reaches scheduler / unit / raptor state without a singleton.
+        self.components: list = []
+        #: Named handles a scenario exposes for post-restore driving
+        #: (e.g. the submitted units to wait on).  Rebuilt by replay,
+        #: never serialized.
+        self.handles: dict = {}
         if sanitize or (sanitize is None and sanitize_enabled()):
             SimSanitizer.install(env)
         elif sanitize is False and env.sanitizer is not None:
@@ -111,9 +124,40 @@ class Session:
             self, pilot, workers=workers,
             cores_per_worker=cores_per_worker, master_cores=master_cores,
             restart_policy=restart_policy, config=config)
+        self.register_component(overlay)
         if start:
             overlay.start()
         return overlay
+
+    # ------------------------------------------------------- persistence
+    def register_component(self, component) -> None:
+        """Track ``component`` for the checkpoint fingerprint walk.
+
+        Managers and overlays call this at construction; anything with
+        a ``snapshot_state()`` method contributes to the state digest
+        :mod:`repro.persist` verifies after a restore.
+        """
+        if component not in self.components:
+            self.components.append(component)
+
+    def snapshot_state(self) -> dict:
+        """Canonical summary of the session's own serializable state."""
+        return {"uid": self.uid,
+                "root_seed": self.rng.root_seed,
+                "closed": self.closed,
+                "uid_counters": dict(self._uid_counters)}
+
+    def checkpoint(self, path, ref: str = "latest"):
+        """Checkpoint this session into the snapshot store at ``path``.
+
+        Requires :attr:`provenance` (sessions built via
+        :func:`repro.persist.launch`): the snapshot records the scenario
+        recipe plus the replay barrier and state digest; see
+        :mod:`repro.persist`.  Returns the stored
+        :class:`~repro.persist.checkpoint.CheckpointInfo`.
+        """
+        from repro.persist import checkpoint_session
+        return checkpoint_session(self, path, ref=ref)
 
     @property
     def telemetry(self):
@@ -131,10 +175,9 @@ class Session:
         makes independent experiment cells bitwise-reproducible whether
         they run sequentially, in any order, or on a process pool.
         """
-        counter = self._uid_counters.get(prefix)
-        if counter is None:
-            counter = self._uid_counters[prefix] = itertools.count(1)
-        return f"{prefix}.{next(counter):0{width}d}"
+        value = self._uid_counters.get(prefix, 0) + 1
+        self._uid_counters[prefix] = value
+        return f"{prefix}.{value:0{width}d}"
 
     def close(self) -> None:
         self.closed = True

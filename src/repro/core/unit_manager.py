@@ -141,6 +141,7 @@ class UnitManager:
         self._first_failure_at: Dict[str, float] = {}
         self._watcher = self.env.process(self._watch_loop(),
                                          name=f"{self.uid}-watch")
+        session.register_component(self)
 
     # -------------------------------------------------------------- pilots
     def add_pilots(self, pilots: Union[ComputePilot,
@@ -257,6 +258,20 @@ class UnitManager:
         if logical is not None and logical.triggered:
             return logical.value
         return unit
+
+    def snapshot_state(self) -> dict:
+        """Checkpoint fingerprint: unit states + restart bookkeeping.
+
+        Unit handles reduce to ``uid -> state``; together with the
+        restart ledger this pins down the in-flight workload a restored
+        process must have replayed to the same point.
+        """
+        return {"kind": "unit_manager", "uid": self.uid,
+                "units": {uid: unit.state.value
+                          for uid, unit in sorted(self.units.items())},
+                "restarts_used": dict(sorted(
+                    self._restarts_used.items())),
+                "pilots": sorted(p.uid for p in self.pilots)}
 
     def cancel_units(self, units: Iterable[ComputeUnit]) -> None:
         """Cancel units that have not been claimed by an agent yet.

@@ -88,6 +88,20 @@ class FaultInjector:
             f"machine")
 
     # -- scheduling ---------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Checkpoint fingerprint: fired faults + poison ledger.
+
+        Scheduled-but-unfired specs live as pending timer processes on
+        the event queue (covered by the engine fingerprint); what needs
+        capturing here is the injector's own mutable state.
+        """
+        from dataclasses import asdict
+        return {"fired": [asdict(spec) for spec in self.fired],
+                "unit_errors": dict(sorted(self._unit_errors.items())),
+                "targets": {"machines": len(self._all_machines()),
+                            "hdfs": len(self.hdfs_clusters),
+                            "yarn": len(self.yarn_clusters)}}
+
     def schedule(self, spec: FaultSpec) -> None:
         """Arm one validated spec.
 

@@ -92,6 +92,25 @@ class RaptorMaster:
         self._worker_count_waiters: List[tuple] = []
         self._span = None
 
+    def snapshot_state(self) -> dict:
+        """Checkpoint fingerprint: queue depths + task counters.
+
+        In-flight task identity is carried by the deterministic tid
+        sets; the payloads themselves replay from the scenario.
+        """
+        return {"kind": "raptor_master", "uid": self.uid,
+                "registered_total": self._registered_total,
+                "workers": len(self.workers),
+                "pending": [t.tid for t in self._pending],
+                "running": sorted(self._running),
+                "in_transit": sorted(self._in_transit),
+                "tasks_submitted": self.tasks_submitted,
+                "tasks_completed": self.tasks_completed,
+                "tasks_failed": self.tasks_failed,
+                "tasks_retried": self.tasks_retried,
+                "workers_lost": self.workers_lost,
+                "closed": self.closed, "failed": self.failed}
+
     # ------------------------------------------------------------- readiness
     @property
     def ready(self) -> bool:

@@ -95,6 +95,15 @@ class RaptorOverlay:
         count = self.num_workers if workers is None else workers
         return self.master.workers_event(count)
 
+    def snapshot_state(self) -> dict:
+        """Checkpoint fingerprint: overlay shape + live master state."""
+        return {"kind": "raptor_overlay", "uid": self.uid,
+                "workers": self.num_workers,
+                "cores_per_worker": self.cores_per_worker,
+                "started": self._started,
+                "next_tid": self._next_tid,
+                "master": self.master.snapshot_state()}
+
     # ------------------------------------------------------------- tasks
     def submit_tasks(self, descriptions: Sequence[TaskDescription],
                      futures: bool = True) -> Optional[List[TaskFuture]]:

@@ -425,6 +425,18 @@ class PilotService:
         peak = self._open_gauge.max()
         return 0 if peak is None else int(peak)
 
+    def snapshot_state(self) -> dict:
+        """Checkpoint fingerprint: tenants, tickets and latency metrics.
+
+        Built from the same canonical counters the ``/metrics`` query
+        surface serves, so the persisted view and the live query
+        surface can never disagree.
+        """
+        return {"kind": "pilot_service", "uid": self.uid,
+                "outstanding": self._outstanding,
+                "metrics": self._metrics_snapshot(),
+                "tenants": sorted(self._accounts)}
+
     # ---------------------------------------------------------- query surface
     #: The registered endpoint shapes (YARN-RM style).
     ENDPOINTS = ("/", "/tenants", "/tenants/<tenant>",

@@ -393,6 +393,7 @@ class Environment:
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = 0
+        self._steps = 0
         self._active_process: Optional[Process] = None
         self._crashed: Optional[BaseException] = None
         # One switch for the whole stack: REPRO_SANITIZE=1 arms the
@@ -411,6 +412,17 @@ class Environment:
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    @property
+    def steps(self) -> int:
+        """Total events processed so far (the replay barrier coordinate).
+
+        Deterministic simulations process the same event sequence every
+        run, so ``(now, steps, seq)`` uniquely identifies a point in the
+        execution — :mod:`repro.persist` checkpoints record it and
+        :meth:`replay_to` drives a fresh environment back to it.
+        """
+        return self._steps
 
     @property
     def active_process(self) -> Optional[Process]:
@@ -458,10 +470,65 @@ class Environment:
         if not self._queue:
             raise SimulationError("no scheduled events")
         self._now, _, _, event = _heappop(self._queue)
+        self._steps += 1
         event._run_callbacks()
         if self._crashed is not None:
             exc, self._crashed = self._crashed, None
             raise exc
+
+    def replay_to(self, steps: int, now: Optional[float] = None) -> None:
+        """Process events until exactly ``steps`` total have run.
+
+        The restore half of a checkpoint barrier: a deterministic
+        simulation replayed from its initial state passes through the
+        same event sequence, so stopping after the recorded step count
+        reproduces the checkpointed engine state exactly — including
+        same-timestamp events that a time-based ``run(until=...)``
+        could not split.
+
+        ``now`` re-applies the barrier's clock position: a
+        ``run(until=T)`` parks the clock at ``T`` even when no event
+        fires there, which replaying events alone cannot reproduce.
+        """
+        if steps < self._steps:
+            raise SimulationError(
+                f"cannot replay backwards: at step {self._steps}, "
+                f"asked for {steps}")
+        while self._steps < steps:
+            if not self._queue:
+                raise SimulationError(
+                    f"event queue exhausted at step {self._steps} "
+                    f"before reaching replay barrier {steps}")
+            self.step()
+        if now is not None and now != self._now:
+            if now < self._now or (self._queue and now > self.peek()):
+                raise SimulationError(
+                    f"barrier clock {now} is unreachable from now="
+                    f"{self._now} (next event at {self.peek()}); the "
+                    f"replay diverged from the checkpointed run")
+            self._now = now
+
+    def snapshot_state(self) -> dict:
+        """Canonical, JSON-able summary of the engine state.
+
+        Live :class:`Event`/:class:`Process` objects cannot cross a
+        process boundary, so the summary reduces each queue entry to
+        its deterministic coordinates ``(time, priority, seq, kind,
+        name)`` — enough for a restored environment to prove, by
+        digest, that replay reconstructed an identical heap.
+        """
+        entries = []
+        for time_, priority, seq, event in sorted(
+                self._queue, key=lambda e: e[:3]):
+            if type(event) is _Sleep:
+                kind = "_Sleep"
+                name = event.proc.name if event.proc is not None else None
+            else:
+                kind = type(event).__name__
+                name = getattr(event, "name", None)
+            entries.append([time_, priority, seq, kind, name])
+        return {"now": self._now, "seq": self._seq,
+                "steps": self._steps, "queue": entries}
 
     def run(self, until: Any = None) -> Any:
         """Run the simulation.
@@ -489,30 +556,37 @@ class Environment:
         # bounds the throughput of every simulation in the repo.
         queue = self._queue
         pop = _heappop
-        if stop_event is None and stop_time == float("inf"):
-            while queue:
-                self._now, _, _, event = pop(queue)
-                event._run_callbacks()
-                if self._crashed is not None:
-                    exc, self._crashed = self._crashed, None
-                    raise exc
-        elif stop_event is not None:
-            while queue and not stop_event._processed:
-                self._now, _, _, event = pop(queue)
-                event._run_callbacks()
-                if self._crashed is not None:
-                    exc, self._crashed = self._crashed, None
-                    raise exc
-        else:
-            while queue:
-                if queue[0][0] > stop_time:
-                    self._now = stop_time
-                    break
-                self._now, _, _, event = pop(queue)
-                event._run_callbacks()
-                if self._crashed is not None:
-                    exc, self._crashed = self._crashed, None
-                    raise exc
+        steps = self._steps
+        try:
+            if stop_event is None and stop_time == float("inf"):
+                while queue:
+                    self._now, _, _, event = pop(queue)
+                    steps += 1
+                    event._run_callbacks()
+                    if self._crashed is not None:
+                        exc, self._crashed = self._crashed, None
+                        raise exc
+            elif stop_event is not None:
+                while queue and not stop_event._processed:
+                    self._now, _, _, event = pop(queue)
+                    steps += 1
+                    event._run_callbacks()
+                    if self._crashed is not None:
+                        exc, self._crashed = self._crashed, None
+                        raise exc
+            else:
+                while queue:
+                    if queue[0][0] > stop_time:
+                        self._now = stop_time
+                        break
+                    self._now, _, _, event = pop(queue)
+                    steps += 1
+                    event._run_callbacks()
+                    if self._crashed is not None:
+                        exc, self._crashed = self._crashed, None
+                        raise exc
+        finally:
+            self._steps = steps
 
         if stop_event is not None:
             if not stop_event.processed:

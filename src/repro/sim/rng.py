@@ -56,6 +56,14 @@ class RngStream:
         """In-place Fisher-Yates shuffle."""
         self._gen.shuffle(seq)
 
+    def state_dict(self) -> dict:
+        """The underlying bit generator's state (JSON-serializable)."""
+        return self._gen.bit_generator.state
+
+    def set_state(self, state: dict) -> None:
+        """Restore a state previously captured by :meth:`state_dict`."""
+        self._gen.bit_generator.state = state
+
 
 class SeedSequenceRegistry:
     """Derives independent :class:`RngStream` objects from one root seed.
@@ -75,3 +83,20 @@ class SeedSequenceRegistry:
             derived = (zlib.crc32(name.encode("utf-8")) ^ self.root_seed) & 0xFFFFFFFF
             self._streams[name] = RngStream(derived, name)
         return self._streams[name]
+
+    def snapshot_state(self) -> dict:
+        """Every materialized stream's exact generator state.
+
+        Captures *position*, not just seed: a checkpoint taken mid-run
+        must record how far each stream has advanced so a restored
+        session draws the same remaining sequence.
+        """
+        return {"root_seed": self.root_seed,
+                "streams": {name: stream.state_dict()
+                            for name, stream in
+                            sorted(self._streams.items())}}
+
+    def restore_state(self, state: dict) -> None:
+        """Re-materialize streams at the positions in ``state``."""
+        for name, gen_state in state.get("streams", {}).items():
+            self.stream(name).set_state(gen_state)

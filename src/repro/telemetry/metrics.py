@@ -286,3 +286,14 @@ class MetricsRegistry:
     def to_jsonl(self) -> str:
         return "\n".join(json.dumps(row, default=str)
                          for row in self.rows())
+
+    def snapshot_state(self) -> list:
+        """Checkpoint fingerprint: every metric row, canonically sorted.
+
+        Registration order is deterministic in a replayed run, but
+        sorting by the serialized row makes the fingerprint independent
+        of it — metric *values* are what must match after restore.
+        """
+        return sorted((dict(row) for row in self.rows()),
+                      key=lambda row: json.dumps(row, sort_keys=True,
+                                                 default=str))

@@ -148,7 +148,7 @@ def test_cli_check_fails_without_manifest_then_passes(tmp_path, capsys):
             "--manifest", str(manifest), "--baseline", str(baseline)]
     assert main(["audit-state", *argv, "--check"]) == 1
     assert "missing" in capsys.readouterr().out
-    assert main(["audit-state", *argv, "--update"]) == 0
+    assert main(["audit-state", *argv, "--update-manifest"]) == 0
     capsys.readouterr()
     assert main(["audit-state", *argv, "--check"]) == 0
 
@@ -162,7 +162,7 @@ def test_cli_check_fails_on_manifest_drift(tmp_path, capsys):
     argv = [str(pkg), "--root", "pkg.mod.Root",
             "--manifest", str(manifest),
             "--baseline", str(tmp_path / "b.json")]
-    assert main(["audit-state", *argv, "--update"]) == 0
+    assert main(["audit-state", *argv, "--update-manifest"]) == 0
     (pkg / "mod.py").write_text(source +
                                 "        self.extra = 1\n")
     capsys.readouterr()
@@ -178,7 +178,7 @@ def test_cli_check_fails_on_unbaselined_hazard(tmp_path, capsys):
     argv = [str(pkg), "--root", "pkg.mod.Root",
             "--manifest", str(tmp_path / "m.json"),
             "--baseline", str(tmp_path / "b.json")]
-    assert main(["audit-state", *argv, "--update"]) == 0
+    assert main(["audit-state", *argv, "--update-manifest"]) == 0
     capsys.readouterr()
     assert main(["audit-state", *argv, "--check"]) == 1
     assert "SIM111" in capsys.readouterr().out
@@ -196,7 +196,7 @@ def test_cli_baselined_hazard_passes_check(tmp_path, capsys):
     argv = [str(pkg), "--root", "pkg.mod.Root",
             "--manifest", str(tmp_path / "m.json"),
             "--baseline", str(baseline)]
-    assert main(["audit-state", *argv, "--update"]) == 0
+    assert main(["audit-state", *argv, "--update-manifest"]) == 0
     capsys.readouterr()
     assert main(["audit-state", *argv, "--check"]) == 0
 
@@ -210,5 +210,5 @@ def test_committed_state_manifest_matches_fresh_audit():
         (REPO_ROOT / "state-manifest.json").read_text())
     assert committed == derived, (
         "state-manifest.json is out of date; run "
-        "`python -m repro audit-state --update`")
+        "`python -m repro audit-state --update-manifest`")
     assert findings == [], "\n".join(f.render() for f in findings)

@@ -90,3 +90,92 @@ def test_raptor_sweep_quick_cli(capsys):
     assert "sweep raptor:" in out
     assert "per-unit YARN" in out          # the headline speedup lines
     assert "equivalence" in out and "identical" in out
+
+
+# ---------------------------------------------------------------------------
+# Persistence verbs, resumable sweeps, and the declarative registry
+# ---------------------------------------------------------------------------
+
+import pytest
+
+
+def test_registry_sanity():
+    """Every verb is declared once, carries help text, and documents a
+    success exit code."""
+    from repro.cli import COMMANDS, REGISTRY
+    names = [cmd.name for cmd in COMMANDS]
+    assert len(names) == len(set(names))
+    for cmd in COMMANDS:
+        assert REGISTRY[cmd.name] is cmd
+        assert cmd.help
+        assert any(code == 0 for code, _ in cmd.exit_codes)
+
+
+def test_deprecated_alias_table_matches_docs():
+    from repro.cli import COMMANDS
+    aliases = {(cmd.name, old)
+               for cmd in COMMANDS
+               for spec in cmd.args
+               for old in spec.deprecated}
+    assert ("sweep", "--out") in aliases
+    assert ("trace", "--out") in aliases
+    assert ("audit-state", "--update") in aliases
+
+
+def test_deprecated_alias_warns_and_still_works(tmp_path):
+    with pytest.warns(DeprecationWarning, match="--out is deprecated"):
+        assert main(["sweep", "--list", "--out",
+                     str(tmp_path / "ignored.json")]) == 0
+
+
+def test_subcommand_help_documents_exit_codes(capsys):
+    assert main(["checkpoint", "--help"]) == 0
+    out = capsys.readouterr().out
+    assert "exit codes" in out
+
+
+def test_checkpoint_list_scenarios(capsys):
+    assert main(["checkpoint", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "bag" in out and "raptor-stream" in out
+
+
+def test_checkpoint_restore_cli_round_trip(tmp_path, capsys):
+    store = str(tmp_path / "ckpt")
+    assert main(["checkpoint", "bag", "--store", store, "--at", "80",
+                 "--seed", "9", "--param", "ntasks=4",
+                 "--param", "fault_rate=0.5"]) == 0
+    out = capsys.readouterr().out
+    assert "checkpointed scenario 'bag'" in out
+    assert main(["restore", store, "--until", "120"]) == 0
+    out = capsys.readouterr().out
+    assert "state digest verified" in out
+    assert "ran to t=" in out
+
+
+def test_checkpoint_usage_errors(tmp_path):
+    store = str(tmp_path / "ckpt")
+    assert main(["checkpoint", "no-such-scenario", "--store", store]) == 2
+    assert main(["checkpoint", "bag", "--store", store,
+                 "--param", "missing-equals"]) == 2
+
+
+def test_restore_missing_store_fails_cleanly(tmp_path, capsys):
+    assert main(["restore", str(tmp_path / "nowhere")]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_sweep_run_dir_resume_cli(tmp_path, capsys):
+    run_dir = str(tmp_path / "run")
+    base = ["sweep", "chaos", "--quick", "--jobs", "1",
+            "--run-dir", run_dir]
+    assert main(base + ["--max-cells", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "INCOMPLETE" in out
+    # same run dir without --resume is refused, not silently re-run
+    assert main(base) == 1
+    assert "--resume" in capsys.readouterr().err
+    assert main(base + ["--resume"]) == 0
+    out = capsys.readouterr().out
+    assert "2 resumed" in out
+    assert "INCOMPLETE" not in out

@@ -1,0 +1,95 @@
+"""The crash-safe sweep journal: durability, torn tails, spec identity."""
+
+import json
+
+import pytest
+
+from repro.persist import JournalError, SweepJournal
+
+
+SPEC = {"grid": "demo", "root_seed": 42, "quick": False,
+        "cells": [{"key": "a", "seed": 1}, {"key": "b", "seed": 2}]}
+
+
+def test_spec_round_trip_and_identity_lock(tmp_path):
+    journal = SweepJournal(tmp_path / "run")
+    journal.write_spec(dict(SPEC))
+    spec = journal.read_spec()
+    assert spec["grid"] == "demo"
+    # identical re-write is a no-op...
+    journal.write_spec(dict(SPEC))
+    # ...but a different sweep is rejected
+    with pytest.raises(JournalError, match="different sweep"):
+        journal.write_spec({**SPEC, "root_seed": 7})
+
+
+def test_record_and_recover(tmp_path):
+    with SweepJournal(tmp_path / "run") as journal:
+        journal.record("a", {"rows": [1]})
+        journal.record("b", {"rows": [2]})
+    recovered = SweepJournal(tmp_path / "run").completed()
+    assert recovered == {"a": {"rows": [1]}, "b": {"rows": [2]}}
+
+
+def test_pending_preserves_declaration_order(tmp_path):
+    with SweepJournal(tmp_path / "run") as journal:
+        journal.record("b", {"rows": [2]})
+    assert SweepJournal(tmp_path / "run").pending(
+        ["a", "b", "c"]) == ["a", "c"]
+
+
+def test_torn_tail_is_dropped(tmp_path):
+    """The one corruption a SIGKILL can cause — a half-appended final
+    line — recovers to the last durable record."""
+    with SweepJournal(tmp_path / "run") as journal:
+        journal.record("a", {"rows": [1]})
+        journal.record("b", {"rows": [2]})
+    cells = tmp_path / "run" / "cells.jsonl"
+    text = cells.read_text()
+    cells.write_text(text + text.splitlines()[0][: len(text) // 4])
+    recovered = SweepJournal(tmp_path / "run").completed()
+    assert set(recovered) == {"a", "b"}
+
+
+def test_mid_file_corruption_rejected(tmp_path):
+    """A mangled line *before* the tail means the file was edited, not
+    crashed on — that is an error, never silently skipped."""
+    with SweepJournal(tmp_path / "run") as journal:
+        journal.record("a", {"rows": [1]})
+        journal.record("b", {"rows": [2]})
+    cells = tmp_path / "run" / "cells.jsonl"
+    lines = cells.read_text().splitlines()
+    lines[0] = lines[0][:-5] + 'oops"'
+    cells.write_text("\n".join(lines) + "\n")
+    with pytest.raises(JournalError, match="corrupt journal line 1"):
+        SweepJournal(tmp_path / "run").completed()
+
+
+def test_tampered_digest_rejected(tmp_path):
+    with SweepJournal(tmp_path / "run") as journal:
+        journal.record("a", {"rows": [1]})
+        journal.record("b", {"rows": [2]})
+    cells = tmp_path / "run" / "cells.jsonl"
+    lines = cells.read_text().splitlines()
+    entry = json.loads(lines[0])
+    entry["result"] = {"rows": [999]}   # edit without fixing "check"
+    lines[0] = json.dumps(entry)
+    cells.write_text("\n".join(lines) + "\n")
+    with pytest.raises(JournalError, match="corrupt"):
+        SweepJournal(tmp_path / "run").completed()
+
+
+def test_duplicate_keys_last_write_wins(tmp_path):
+    """Re-running a cell (e.g. resumed twice concurrently) journals two
+    records; recovery keeps the newest."""
+    with SweepJournal(tmp_path / "run") as journal:
+        journal.record("a", {"rows": [1]})
+        journal.record("a", {"rows": [2]})
+    assert SweepJournal(tmp_path / "run").completed() == {
+        "a": {"rows": [2]}}
+
+
+def test_empty_and_missing_journals(tmp_path):
+    journal = SweepJournal(tmp_path / "run")
+    assert journal.completed() == {}
+    assert journal.read_spec() is None

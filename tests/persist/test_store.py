@@ -1,0 +1,97 @@
+"""The content-addressed snapshot store: atomicity, integrity, refs."""
+
+import json
+import os
+
+import pytest
+
+from repro.persist import (
+    STORE_FORMAT,
+    SnapshotStore,
+    StoreError,
+    payload_digest,
+)
+
+
+def test_put_get_round_trip(tmp_path):
+    store = SnapshotStore(tmp_path / "s")
+    payload = {"kind": "demo", "values": [1, 2, 3], "nested": {"a": 1}}
+    digest = store.put(payload)
+    assert digest == payload_digest(payload)
+    assert store.get(digest) == payload
+    assert digest in store
+
+
+def test_put_is_idempotent_and_content_addressed(tmp_path):
+    store = SnapshotStore(tmp_path / "s")
+    a = store.put({"x": 1})
+    b = store.put({"x": 1})
+    c = store.put({"x": 2})
+    assert a == b != c
+    assert store.digests() == sorted([a, c])
+
+
+def test_key_order_never_changes_the_digest(tmp_path):
+    store = SnapshotStore(tmp_path / "s")
+    assert store.put({"a": 1, "b": 2}) == store.put({"b": 2, "a": 1})
+
+
+def test_refs_move_atomically_and_resolve(tmp_path):
+    store = SnapshotStore(tmp_path / "s")
+    first = store.put({"rev": 1})
+    second = store.put({"rev": 2})
+    store.set_ref("latest", first)
+    assert store.ref("latest") == first
+    store.set_ref("latest", second)
+    assert store.ref("latest") == second
+    assert store.refs() == {"latest": second}
+    assert store.resolve("latest") == {"rev": 2}
+    assert store.resolve(first) == {"rev": 1}
+
+
+def test_ref_to_unknown_object_rejected(tmp_path):
+    store = SnapshotStore(tmp_path / "s")
+    with pytest.raises(StoreError, match="unknown object"):
+        store.set_ref("latest", "0" * 64)
+
+
+def test_corrupt_object_detected_on_read(tmp_path):
+    store = SnapshotStore(tmp_path / "s")
+    digest = store.put({"x": 1})
+    path = store.objects / f"{digest}.json"
+    path.write_text(json.dumps({"x": 2}))
+    with pytest.raises(StoreError, match="corrupt"):
+        store.get(digest)
+    with pytest.raises(StoreError, match="corrupt"):
+        store.verify()
+
+
+def test_verify_counts_clean_objects(tmp_path):
+    store = SnapshotStore(tmp_path / "s")
+    for i in range(3):
+        store.put({"i": i})
+    assert store.verify() == 3
+
+
+def test_missing_store_rejected_without_create(tmp_path):
+    with pytest.raises(StoreError, match="no snapshot store"):
+        SnapshotStore(tmp_path / "nope", create=False)
+
+
+def test_format_mismatch_rejected(tmp_path):
+    root = tmp_path / "s"
+    SnapshotStore(root)
+    (root / "store.json").write_text(
+        json.dumps({"format": STORE_FORMAT + 1}))
+    with pytest.raises(StoreError, match="format"):
+        SnapshotStore(root)
+
+
+def test_no_temp_files_left_behind(tmp_path):
+    """Every write goes through tmp+rename; nothing stays half-written."""
+    store = SnapshotStore(tmp_path / "s")
+    digest = store.put({"x": 1})
+    store.set_ref("latest", digest)
+    leftovers = [p for p in (tmp_path / "s").rglob("*")
+                 if f".tmp.{os.getpid()}" in p.name]
+    assert leftovers == []

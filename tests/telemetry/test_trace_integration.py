@@ -109,7 +109,7 @@ def test_trace_cli_smoke(tmp_path, capsys):
     out = tmp_path / "cli"
     code = main(["trace", "--points", "800", "--clusters", "4",
                  "--ntasks", "8", "--flavor", "RP",
-                 "--out", str(out)])
+                 "--output", str(out)])
     assert code == 0
     text = capsys.readouterr().out
     assert "centroids valid    True" in text
