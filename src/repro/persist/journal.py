@@ -83,12 +83,60 @@ class SweepJournal:
         return spec
 
     # ------------------------------------------------------------ the cells
+    def _repair_torn_tail(self) -> None:
+        """Truncate a crash's torn final line *on disk* before appending.
+
+        :meth:`completed` drops a torn tail in memory, but the fragment
+        is still in the file — appending straight after it would merge
+        the fragment and the new record into one corrupt line that is
+        no longer at the tail, turning a recoverable crash artifact
+        into a permanently unresumable journal.  Validates lines with
+        the same digest check as recovery and truncates to the end of
+        the last durable one; a valid final line that merely lost its
+        newline gets the newline restored instead of being dropped.
+        """
+        if not self.cells_path.exists():
+            return
+        raw = self.cells_path.read_bytes()
+        good_end = 0   # byte offset just past the last durable line
+        pos = 0
+        while pos < len(raw):
+            newline = raw.find(b"\n", pos)
+            end = len(raw) if newline < 0 else newline + 1
+            line = raw[pos:end].decode("utf-8", "replace").strip()
+            ok = not line   # blank lines are skipped by completed()
+            if line:
+                try:
+                    entry = json.loads(line)
+                    ok = entry.pop("check") == _line_digest(entry)
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    ok = False
+            if not ok:
+                if end < len(raw):
+                    raise JournalError(
+                        f"corrupt journal line in {self.cells_path} "
+                        f"(not the final line, so not a crash artifact)")
+                break
+            good_end = end
+            pos = end
+        if good_end < len(raw):
+            with open(self.cells_path, "r+b") as fh:
+                fh.truncate(good_end)
+                fh.flush()
+                os.fsync(fh.fileno())
+        elif raw and not raw.endswith(b"\n"):
+            with open(self.cells_path, "ab") as fh:
+                fh.write(b"\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+
     def record(self, key: str, result: Dict[str, Any]) -> None:
         """Append one completed cell; durable before return."""
         body = {"key": key, "result": result}
         line = canonical_json({**body, "check": _line_digest(body)})
         if self._fh is None:
             self.run_dir.mkdir(parents=True, exist_ok=True)
+            self._repair_torn_tail()
             self._fh = open(self.cells_path, "a", encoding="utf-8")
         self._fh.write(line + "\n")
         self._fh.flush()

@@ -17,11 +17,17 @@ or the new state on disk — never a torn file.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
 from pathlib import Path
 from typing import Dict, Optional
+
+try:
+    import fcntl
+except ImportError:              # pragma: no cover - non-POSIX
+    fcntl = None  # type: ignore[assignment]
 
 #: On-disk format version; bumped on incompatible layout changes.
 STORE_FORMAT = 1
@@ -45,8 +51,25 @@ def payload_digest(payload) -> str:
     return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
 
 
+def _fsync_dir(path: Path) -> None:
+    """fsync a directory so a completed rename survives power loss."""
+    flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+    try:
+        fd = os.open(path, flags)
+    except OSError:
+        return   # platform cannot open directories (e.g. Windows)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
 def atomic_write(path: Path, data: str) -> None:
-    """Write ``data`` to ``path`` via tmp-file + fsync + atomic rename."""
+    """Write ``data`` to ``path`` via tmp-file + fsync + atomic rename.
+
+    The parent directory is fsync'd after the rename, so the commit is
+    durable against power failure, not just process death.
+    """
     path = Path(path)
     tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
     with open(tmp, "w", encoding="utf-8") as fh:
@@ -54,6 +77,7 @@ def atomic_write(path: Path, data: str) -> None:
         fh.flush()
         os.fsync(fh.fileno())
     os.replace(tmp, path)
+    _fsync_dir(path.parent)
 
 
 class SnapshotStore:
@@ -145,14 +169,33 @@ class SnapshotStore:
     def ref(self, name: str) -> Optional[str]:
         return self.refs().get(name)
 
+    @contextlib.contextmanager
+    def _refs_lock(self):
+        """Exclusive advisory lock serializing refs.json updates.
+
+        Two processes checkpointing into one store both read-modify-
+        write the refs map; without the lock the later writer would
+        silently drop the earlier one's ref.
+        """
+        fd = os.open(self.root / "refs.lock",
+                     os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            os.close(fd)   # closing the fd releases the flock
+
     def set_ref(self, name: str, digest: str) -> None:
-        """Point ``name`` at ``digest`` (atomic replace of refs.json)."""
+        """Point ``name`` at ``digest`` (locked read-modify-write,
+        atomic replace of refs.json)."""
         if digest not in self:
             raise StoreError(
                 f"cannot ref unknown object {digest} as {name!r}")
-        refs = self.refs()
-        refs[name] = digest
-        atomic_write(self._refs_path, canonical_json(refs) + "\n")
+        with self._refs_lock():
+            refs = self.refs()
+            refs[name] = digest
+            atomic_write(self._refs_path, canonical_json(refs) + "\n")
 
     def resolve(self, name_or_digest: str) -> Dict:
         """Load a record by ref name or raw digest."""

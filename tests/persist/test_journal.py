@@ -51,6 +51,51 @@ def test_torn_tail_is_dropped(tmp_path):
     assert set(recovered) == {"a", "b"}
 
 
+def test_append_after_torn_tail_repairs_file(tmp_path):
+    """Appending after a crash must truncate the torn fragment on disk
+    first — otherwise the new record merges onto it, becoming mid-file
+    corruption that makes every later recovery raise."""
+    with SweepJournal(tmp_path / "run") as journal:
+        journal.record("a", {"rows": [1]})
+        journal.record("b", {"rows": [2]})
+    cells = tmp_path / "run" / "cells.jsonl"
+    text = cells.read_text()
+    cells.write_text(text + text.splitlines()[0][: len(text) // 4])
+    with SweepJournal(tmp_path / "run") as journal:
+        journal.record("c", {"rows": [3]})
+        journal.record("d", {"rows": [4]})
+    assert SweepJournal(tmp_path / "run").completed() == {
+        "a": {"rows": [1]}, "b": {"rows": [2]},
+        "c": {"rows": [3]}, "d": {"rows": [4]}}
+
+
+def test_append_after_unterminated_valid_tail(tmp_path):
+    """A crash can flush a full final line but not its newline; the
+    next append must neither merge onto that line nor drop it."""
+    with SweepJournal(tmp_path / "run") as journal:
+        journal.record("a", {"rows": [1]})
+    cells = tmp_path / "run" / "cells.jsonl"
+    cells.write_bytes(cells.read_bytes().rstrip(b"\n"))
+    with SweepJournal(tmp_path / "run") as journal:
+        journal.record("b", {"rows": [2]})
+    assert SweepJournal(tmp_path / "run").completed() == {
+        "a": {"rows": [1]}, "b": {"rows": [2]}}
+
+
+def test_append_rejects_mid_file_corruption(tmp_path):
+    """Repair only ever trims the tail; corruption anywhere else stops
+    the append instead of being buried under new records."""
+    with SweepJournal(tmp_path / "run") as journal:
+        journal.record("a", {"rows": [1]})
+        journal.record("b", {"rows": [2]})
+    cells = tmp_path / "run" / "cells.jsonl"
+    lines = cells.read_text().splitlines()
+    lines[0] = lines[0][:-5] + 'oops"'
+    cells.write_text("\n".join(lines) + "\n")
+    with pytest.raises(JournalError, match="not a crash artifact"):
+        SweepJournal(tmp_path / "run").record("c", {"rows": [3]})
+
+
 def test_mid_file_corruption_rejected(tmp_path):
     """A mangled line *before* the tail means the file was edited, not
     crashed on — that is an error, never silently skipped."""

@@ -49,6 +49,34 @@ def test_refs_move_atomically_and_resolve(tmp_path):
     assert store.resolve(first) == {"rev": 1}
 
 
+def test_set_ref_blocks_behind_the_refs_lock(tmp_path):
+    """Concurrent checkpoints into one store must not drop each
+    other's ref updates: set_ref waits for the advisory lock."""
+    fcntl = pytest.importorskip("fcntl")
+    import threading
+
+    store = SnapshotStore(tmp_path / "s")
+    digest = store.put({"rev": 1})
+    fd = os.open(store.root / "refs.lock", os.O_CREAT | os.O_RDWR)
+    fcntl.flock(fd, fcntl.LOCK_EX)
+    done = threading.Event()
+
+    def contender():
+        store.set_ref("latest", digest)
+        done.set()
+
+    thread = threading.Thread(target=contender)
+    thread.start()
+    try:
+        assert not done.wait(0.2)       # blocked while we hold the lock
+    finally:
+        fcntl.flock(fd, fcntl.LOCK_UN)
+        os.close(fd)
+    thread.join(timeout=10)
+    assert done.is_set()
+    assert store.ref("latest") == digest
+
+
 def test_ref_to_unknown_object_rejected(tmp_path):
     store = SnapshotStore(tmp_path / "s")
     with pytest.raises(StoreError, match="unknown object"):
